@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper figure/table via its experiment
+module in ``quick`` mode and asserts the paper's qualitative findings
+(who wins, by roughly what factor, where saturation sets in).  Absolute
+wall time is what pytest-benchmark records; the simulated results are
+attached as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, module, **kwargs):
+    """Run ``module.run`` once under pytest-benchmark; returns result."""
+    out = {}
+
+    def once():
+        out["result"] = module.run(quick=True, **kwargs)
+        return out["result"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = out["result"]
+    benchmark.extra_info["exp_id"] = result.exp_id
+    for name, value in result.metrics.items():
+        benchmark.extra_info[name] = value
+    print()
+    print(result.table())
+    from repro.experiments.report import compare_table
+    if result.metrics:
+        print(compare_table(result))
+    return result

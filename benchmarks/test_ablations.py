@@ -1,0 +1,173 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Task-scheduler arbitration policy (FCFS default vs priority/SJF) —
+   the extension point Section IV-B reserves.
+2. Data-aware vs data-oblivious node selection — the placement benefit
+   behind "move computation to where data already resides".
+3. NA transport plugin (ofi+tcp vs verbs-like) — the per-stream cap the
+   evaluation deliberately pessimizes.
+4. Shared burst-buffer appliance vs node-local staging — the many-to-
+   few funnel the related-work section contrasts NORNS against.
+"""
+
+import pytest
+
+from repro.norns import (
+    FCFSPolicy, PriorityPolicy, ShortestJobFirstPolicy, TaskQueue,
+    TaskStatus, TaskType,
+)
+from repro.norns.resources import memory_region, posix_path
+from repro.sim import Simulator
+from repro.storage import BurstBuffer, BurstBufferConfig
+from repro.util import GB, GiB, MB
+
+from tests.conftest import build_cluster, build_slurm_cluster, \
+    register_standard_dataspaces
+
+
+def _submit_mixed_tasks(cluster, node, sizes_admin, sizes_user):
+    """Queue a mix of admin and user tasks; return per-task wait times."""
+    sim = cluster.sim
+    ctl = cluster.ctl(node)
+    waits = {}
+
+    def go():
+        tasks = []
+        for i, size in enumerate(sizes_user):
+            tsk = ctl.iotask_init(TaskType.COPY, memory_region(size),
+                                  posix_path("nvme0://", f"/u{i}"))
+            yield from ctl.submit(tsk)
+            tasks.append(("user", i, tsk))
+        for i, size in enumerate(sizes_admin):
+            tsk = ctl.iotask_init(TaskType.COPY, memory_region(size),
+                                  posix_path("nvme0://", f"/a{i}"),
+                                  priority=-10)
+            yield from ctl.submit(tsk)
+            tasks.append(("admin", i, tsk))
+        for kind, i, tsk in tasks:
+            stats = yield from ctl.wait(tsk)
+            assert stats.status is TaskStatus.FINISHED
+            urd_task = cluster.node(node).urd.task(tsk.task_id)
+            waits[(kind, i)] = urd_task.wait_time
+        ctl.close()
+
+    cluster.run(go())
+    return waits
+
+
+@pytest.mark.parametrize("policy_cls", [FCFSPolicy, PriorityPolicy,
+                                        ShortestJobFirstPolicy])
+def test_ablation_arbitration_policy(benchmark, policy_cls):
+    """Priority arbitration gets scheduler staging ahead of user bulk."""
+
+    def once():
+        c = build_cluster(1, workers=1)
+        c.node("node0").urd.queue.policy = policy_cls()
+        register_standard_dataspaces(c, "node0")
+        return _submit_mixed_tasks(
+            c, "node0",
+            sizes_admin=[1 * GB],
+            sizes_user=[10 * GB, 10 * GB, 10 * GB])
+
+    waits = benchmark.pedantic(once, rounds=1, iterations=1)
+    admin_wait = waits[("admin", 0)]
+    if policy_cls is PriorityPolicy:
+        # Admin staging jumps the queue: it waits at most one user task.
+        assert admin_wait < 5.0
+    if policy_cls is FCFSPolicy:
+        # FCFS: it waits behind all three 10 GB user transfers.
+        assert admin_wait > 8.0
+
+
+def test_ablation_data_aware_placement(benchmark):
+    """Data-aware selection reuses the producer's node; oblivious may not."""
+    from repro.slurm import JobSpec, SlurmConfig
+    from repro.slurm.job import PersistDirective
+
+    def writer(ctx):
+        yield ctx.write("nvme0://", "/keep/data.bin", 100 * MB)
+
+    def run_with(data_aware: bool):
+        c, ctld = build_slurm_cluster(4, config=SlurmConfig(
+            data_aware_placement=data_aware))
+        producer = ctld.submit(JobSpec(
+            name="producer", nodes=1, workflow_start=True, user="u",
+            program=writer,
+            persist=(PersistDirective("store", "nvme0://keep/"),)))
+        c.sim.run(producer.done)
+        consumer = ctld.submit(JobSpec(
+            name="consumer", nodes=1, user="u",
+            workflow_prior_dependency=producer.job_id, workflow_end=True,
+            program=lambda ctx: iter(ctx.compute(1) for _ in range(1))))
+        c.sim.run(consumer.done)
+        return producer.allocated_nodes, consumer.allocated_nodes
+
+    def once():
+        return run_with(True), run_with(False)
+
+    (aware, _obl) = benchmark.pedantic(once, rounds=1, iterations=1)
+    prod_nodes, cons_nodes = aware
+    assert cons_nodes == prod_nodes  # data-aware: consumer follows data
+
+
+@pytest.mark.parametrize("plugin", ["ofi+tcp", "ofi+verbs"])
+def test_ablation_na_plugin(benchmark, plugin):
+    """verbs-like transport lifts the per-stream ceiling ofi+tcp has."""
+
+    def once():
+        c = build_cluster(2, plugin=plugin)
+        for name in c.nodes:
+            register_standard_dataspaces(c, name)
+        sim = c.sim
+        sim.run(c.node("node0").mounts["tmp0"].write_file(
+            "/blob", int(3.4 * GiB)))
+        ctl = c.ctl("node1")
+
+        def go():
+            from repro.norns.resources import remote_path
+            tsk = ctl.iotask_init(
+                TaskType.COPY, remote_path("node0", "tmp0://", "/blob"),
+                posix_path("tmp0://", "/blob"))
+            t0 = sim.now
+            yield from ctl.submit(tsk)
+            stats = yield from ctl.wait(tsk)
+            assert stats.status is TaskStatus.FINISHED
+            return sim.now - t0
+
+        return c.run(go())
+
+    elapsed = benchmark.pedantic(once, rounds=1, iterations=1)
+    if plugin == "ofi+tcp":
+        assert elapsed > 1.8    # 3.4 GiB at ~1.7 GiB/s
+    else:
+        assert elapsed < 1.0    # verbs: ~11 GiB/s stream
+
+
+def test_ablation_shared_burst_buffer_funnel(benchmark):
+    """Node-local staging aggregates; a shared appliance saturates."""
+
+    def once():
+        c = build_cluster(4)
+        sim = c.sim
+        bb = BurstBuffer(sim, BurstBufferConfig(n_io_nodes=2,
+                                                node_bandwidth=2 * GB),
+                         fabric=c.fabric)
+        # All four nodes push 8 GB simultaneously.
+        events = [bb.write(f"node{i}", f"/bb/f{i}", 8 * GB)
+                  for i in range(4)]
+        t0 = sim.now
+        for ev in events:
+            sim.run(ev)
+        bb_time = sim.now - t0
+        # Same volume into each node's local NVM.
+        t0 = sim.now
+        writes = [c.node(f"node{i}").mounts["nvme0"].write_file(
+            "/local/f", 8 * GB) for i in range(4)]
+        for ev in writes:
+            sim.run(ev)
+        local_time = sim.now - t0
+        return bb_time, local_time
+
+    bb_time, local_time = benchmark.pedantic(once, rounds=1, iterations=1)
+    # 32 GB through a 4 GB/s appliance vs 4 independent 2.6 GB/s NVMs.
+    assert bb_time > local_time * 1.5

@@ -1,0 +1,20 @@
+"""Bench: Fig. 1 — cross-application interference on ARCHER/MN4-like PFS."""
+
+from repro.experiments import fig1_interference
+from benchmarks.conftest import run_experiment
+
+
+def test_fig1a_archer_interference(benchmark):
+    result = run_experiment(benchmark, type(
+        "M", (), {"run": staticmethod(fig1_interference.run_archer)}))
+    # Paper findings: near-peak bandwidth only with full striping on a
+    # quiet system; >=4x fastest/slowest spread at fixed writer count.
+    assert result.metrics["peak_write_bandwidth"] > 10e9
+    assert result.metrics["min_spread_factor"] >= 2.0
+
+
+def test_fig1b_marenostrum_variability(benchmark):
+    result = run_experiment(benchmark, type(
+        "M", (), {"run": staticmethod(fig1_interference.run_marenostrum)}))
+    # Paper finding: bandwidths under production load diverge widely.
+    assert result.metrics["min_spread_factor"] >= 2.0

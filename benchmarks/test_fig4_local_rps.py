@@ -1,0 +1,11 @@
+"""Bench: Fig. 4 — urd local request throughput/latency."""
+
+from repro.experiments import fig4_local_requests
+from benchmarks.conftest import run_experiment
+
+
+def test_fig4_local_request_rate(benchmark):
+    result = run_experiment(benchmark, fig4_local_requests)
+    # Paper: throughput scales to ~700k req/s; worst latency ~50 us.
+    assert result.metrics["peak_local_rps"] > 500_000
+    assert result.metrics["worst_latency_seconds"] < 100e-6

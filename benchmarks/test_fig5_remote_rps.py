@@ -1,0 +1,12 @@
+"""Bench: Fig. 5 — urd remote request throughput/latency (ofi+tcp)."""
+
+from repro.experiments import fig5_remote_requests
+from benchmarks.conftest import run_experiment
+
+
+def test_fig5_remote_request_rate(benchmark):
+    result = run_experiment(benchmark, fig5_remote_requests)
+    # Paper: ~45k remote req/s; latency well above the local path but
+    # sub-millisecond for sequential clients.
+    assert 30_000 < result.metrics["peak_remote_rps"] < 80_000
+    assert result.metrics["worst_latency_seconds"] < 2e-3

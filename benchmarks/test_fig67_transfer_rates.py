@@ -1,0 +1,29 @@
+"""Bench: Figs. 6-7 — NORNS remote read/write bandwidth."""
+
+from repro.experiments import fig67_transfer_rates
+from benchmarks.conftest import run_experiment
+from repro.util.units import GiB
+
+
+def test_fig6_remote_read_bandwidth(benchmark):
+    result = run_experiment(
+        benchmark,
+        type("M", (), {"run": staticmethod(
+            lambda quick=True, seed=0: fig67_transfer_rates.run_direction(
+                "read", quick, seed))}))
+    # Paper: per-client saturates ~1.7 GiB/s; aggregate scales linearly
+    # (~55.6 GiB/s at 32 clients).
+    per_client = result.metrics["per_client_bandwidth"]
+    assert 1.4 * GiB < per_client < 2.0 * GiB
+    assert result.metrics["aggregate_32_clients"] > 40 * GiB
+
+
+def test_fig7_remote_write_bandwidth(benchmark):
+    result = run_experiment(
+        benchmark,
+        type("M", (), {"run": staticmethod(
+            lambda quick=True, seed=0: fig67_transfer_rates.run_direction(
+                "write", quick, seed))}))
+    per_client = result.metrics["per_client_bandwidth"]
+    assert 1.5 * GiB < per_client < 2.1 * GiB
+    assert result.metrics["aggregate_32_clients"] > 45 * GiB

@@ -1,0 +1,15 @@
+"""Bench: Table III — synthetic workflow on Lustre vs NVM."""
+
+from repro.experiments import table3_synthetic_workflow
+from benchmarks.conftest import run_experiment
+
+
+def test_table3_synthetic_workflow(benchmark):
+    result = run_experiment(benchmark, table3_synthetic_workflow)
+    m = result.metrics
+    # Paper: 96/74 s on Lustre vs 64/30 s on NVM; ~46% faster workflow.
+    assert abs(m["producer_lustre"] - 96) / 96 < 0.15
+    assert abs(m["consumer_lustre"] - 74) / 74 < 0.15
+    assert abs(m["producer_nvm"] - 64) / 64 < 0.15
+    assert abs(m["consumer_nvm"] - 30) / 30 < 0.15
+    assert 1.5 < m["workflow_speedup"] < 2.2

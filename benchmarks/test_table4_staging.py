@@ -1,0 +1,17 @@
+"""Bench: Table IV — staging impact on a co-located HPCG run."""
+
+from repro.experiments import table4_staging_impact
+from benchmarks.conftest import run_experiment
+
+
+def test_table4_staging_impact(benchmark):
+    result = run_experiment(benchmark, table4_staging_impact)
+    m = result.metrics
+    # Paper: producer/consumer unaffected by the staged configuration;
+    # HPCG stretches from 122 s to ~137-142 s next to active staging.
+    assert abs(m["producer"] - 64) / 64 < 0.15
+    assert abs(m["consumer"] - 30) / 30 < 0.15
+    assert abs(m["hpcg_no_activity"] - 122) / 122 < 0.05
+    assert m["hpcg_stage_out"] > m["hpcg_no_activity"] * 1.05
+    assert m["hpcg_stage_in"] > m["hpcg_no_activity"] * 1.05
+    assert m["hpcg_stage_in"] < m["hpcg_no_activity"] * 1.35

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Producer/consumer workflow: the paper's Table III scenario.
+
+Submits a two-phase data-driven workflow three ways and prints the
+phase runtimes:
+
+* ``lustre``      — both phases do their I/O against the parallel FS;
+* ``nvm``         — the producer persists its output on node-local NVM
+  (``#NORNS persist store``), and data-aware placement runs the
+  consumer on the same node;
+* ``nvm-staged``  — producer and consumer on different nodes with NORNS
+  stage-out/stage-in moving the dataset through the PFS.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro.cluster import build, nextgenio
+from repro.util.tables import render_table
+from repro.workloads.synthetic import (
+    SyntheticWorkflowConfig, consumer_spec, producer_spec,
+)
+
+
+def run_workflow(handle, mode: str) -> dict:
+    cfg = SyntheticWorkflowConfig(mode=mode,
+                                  data_dir=f"/wf/{mode}",
+                                  pfs_dir=f"/proj/wf/{mode}")
+    ctld = handle.ctld
+    producer = ctld.submit(producer_spec(cfg))
+    consumer = ctld.submit(consumer_spec(cfg, producer.job_id))
+    handle.sim.run(consumer.done)
+    assert consumer.state.value == "completed", consumer.reason
+    prec = ctld.accounting.get(producer.job_id)
+    crec = ctld.accounting.get(consumer.job_id)
+    status, jobs = ctld.workflow_status(producer.workflow_id)
+    return {
+        "mode": mode,
+        "producer_s": prec.run_seconds,
+        "stage_out_s": prec.stage_out_seconds,
+        "stage_in_s": crec.stage_in_seconds,
+        "consumer_s": crec.run_seconds,
+        "producer_node": ",".join(prec.nodes),
+        "consumer_node": ",".join(crec.nodes),
+        "workflow": status.value,
+    }
+
+
+def main() -> None:
+    handle = build(nextgenio(n_nodes=4))
+    rows = []
+    for mode in ("lustre", "nvm", "nvm-staged"):
+        r = run_workflow(handle, mode)
+        rows.append((r["mode"], r["producer_s"], r["stage_out_s"],
+                     r["stage_in_s"], r["consumer_s"],
+                     r["producer_node"], r["consumer_node"]))
+    print(render_table(
+        ("mode", "producer s", "stage-out s", "stage-in s",
+         "consumer s", "producer node", "consumer node"),
+        rows, title="Producer/consumer workflow, 100 GB (Table III)"))
+    print("\nNote how the 'nvm' row reuses the producer's node "
+          "(data-aware placement) and cuts both phase runtimes, "
+          "while staging shifts the PFS traffic outside the compute "
+          "phases entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — a full reproduction of *NORNS: Extending Slurm to Support
+Data-Driven Workflows through Asynchronous Data Staging* (CLUSTER 2019).
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel and
+  the max-min fair fluid-flow bandwidth engine.
+* :mod:`repro.wire` — from-scratch protobuf-style serialization used on
+  the API↔daemon control path.
+* :mod:`repro.net` — AF_UNIX-style local sockets, the cluster fabric
+  model, and a Mercury-style RPC/bulk-transfer engine.
+* :mod:`repro.storage` — block devices, in-memory filesystems, a
+  Lustre-like parallel file system, burst buffers and an IOR driver.
+* :mod:`repro.norns` — the paper's contribution: the ``urd`` daemon,
+  dataspaces, I/O tasks, transfer plugins, and the ``nornsctl``/``norns``
+  APIs.
+* :mod:`repro.slurm` — the Slurm extensions: workflow-aware scheduling,
+  ``#NORNS`` batch directives and staging orchestration.
+* :mod:`repro.cluster` — declarative cluster specs and builders
+  (NEXTGenIO / ARCHER-like / MareNostrum4-like presets).
+* :mod:`repro.workloads` — application models (producer/consumer, HPCG,
+  OpenFOAM-like, background load).
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

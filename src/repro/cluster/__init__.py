@@ -1,0 +1,21 @@
+"""Declarative cluster descriptions and builders.
+
+One :class:`~repro.cluster.spec.ClusterSpec` describes a machine; the
+builder instantiates the whole simulated stack (fabric, PFS, per-node
+mounts, urd daemons, slurmds, slurmctld) with dataspaces registered
+through the real control API.  Presets model the three machines the
+paper evaluates on: the NEXTGenIO prototype and ARCHER/MareNostrum4-like
+systems for the Fig. 1 interference study.
+"""
+
+from repro.cluster.spec import ClusterSpec, DeviceSpec, NodeGroupSpec
+from repro.cluster.builder import ClusterHandle, NodeHandle, build
+from repro.cluster.presets import (
+    archer_like, marenostrum4_like, nextgenio, small_test,
+)
+
+__all__ = [
+    "ClusterSpec", "DeviceSpec", "NodeGroupSpec",
+    "ClusterHandle", "NodeHandle", "build",
+    "nextgenio", "archer_like", "marenostrum4_like", "small_test",
+]

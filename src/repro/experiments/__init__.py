@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each module exposes ``run(quick=True, seed=0) -> ExperimentResult``.
+``quick`` trims repetitions and scale so the whole battery finishes in
+minutes of wall time; the full setting approaches the paper's scale.
+The benchmark suite (``benchmarks/``) regenerates every result and
+EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments import calibration
+from repro.experiments.report import compare_table, render_all
+
+__all__ = ["ExperimentResult", "calibration", "compare_table",
+           "render_all"]

@@ -1,0 +1,181 @@
+"""Fig. 1 — impact of cross-application interference on I/O performance.
+
+(a) ARCHER-like: repeated collective single-shared-file MPI-IO writes
+    (100 MB per writer) with the default 4-OST stripe vs full striping,
+    under randomly varying background load.  The paper finds peak
+    ≈16 GB/s with full striping and a ≥4x spread between the fastest
+    and slowest run at a fixed writer count.
+
+(b) MareNostrum4-like: IOR file-per-process reads/writes from 1-32
+    nodes co-located with production load, 25 repetitions; measured
+    bandwidths "often diverging by orders of magnitude".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.presets import archer_like, marenostrum4_like
+from repro.experiments.harness import ExperimentResult
+from repro.net.fabric import Fabric
+from repro.sim import RngRegistry, Simulator
+from repro.storage.ior import IorConfig, ior_process
+from repro.storage.pfs import ParallelFileSystem
+from repro.util.stats import summarize
+from repro.util.units import GB, MB
+from repro.workloads.background import BackgroundLoad, BackgroundLoadConfig
+
+__all__ = ["run", "run_archer", "run_marenostrum"]
+
+
+def _bare_pfs(spec, sim: Simulator):
+    """Fabric + PFS only (no urd/slurm) — all Fig. 1 needs."""
+    fabric = Fabric(sim, core_bandwidth=spec.fabric_core_bandwidth,
+                    base_latency=spec.fabric_base_latency)
+    for name in spec.nodes.node_names():
+        fabric.add_node(name, nic_bandwidth=spec.nodes.nic_bandwidth,
+                        membus_bandwidth=spec.nodes.membus_bandwidth)
+    pfs = ParallelFileSystem(sim, spec.pfs, fabric=fabric)
+    return fabric, pfs
+
+
+def _one_archer_run(spec, writers: int, stripe: int, seed: int,
+                    with_background: bool) -> float:
+    """One collective write; returns achieved bandwidth (bytes/s)."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    fabric, pfs = _bare_pfs(spec, sim)
+    node_names = spec.nodes.node_names()
+    per_node = spec.nodes.cores
+    clients = [node_names[i // per_node % len(node_names)]
+               for i in range(writers)]
+    bg = None
+    if with_background:
+        # Production load varies day to day: each repetition sees a
+        # different tenant count and aggressiveness, like the paper's
+        # once-a-day samples over months.
+        shape = rng.stream(f"shape:{seed}")
+        cfg = BackgroundLoadConfig(
+            tenants=int(shape.integers(1, 14)),
+            mean_think_seconds=float(shape.uniform(0.3, 8.0)),
+            burst_log_sigma=1.6,
+            osts_per_burst=int(shape.integers(2, 13)),
+            max_burst_width=int(shape.integers(1, 9)))
+        bg = BackgroundLoad(sim, pfs, rng.stream(f"bg:{seed}"), cfg)
+        bg.start()
+        sim.run(until=rng.stream(f"warmup:{seed}").uniform(0.5, 3.0))
+    size_per_writer = 100 * MB
+    t0 = sim.now
+    done = pfs.collective_write(clients, f"/bench/shared-{seed}.dat",
+                                size_per_writer, stripe_count=stripe)
+    sim.run(done)
+    elapsed = sim.now - t0
+    if bg is not None:
+        bg.stop()
+    return writers * size_per_writer / elapsed
+
+
+def run_archer(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    spec = archer_like(n_nodes=8 if quick else 32)
+    writer_counts = (8, 32, 192) if quick else (8, 16, 32, 64, 128, 192, 512)
+    reps = 5 if quick else 15
+    result = ExperimentResult(
+        exp_id="fig1a",
+        title="ARCHER-like collective write bandwidth vs writers "
+              "(stripe 4 vs full)",
+        headers=("writers", "stripe", "min MB/s", "median MB/s",
+                 "max MB/s", "spread"))
+    peak = 0.0
+    best_spread = 0.0
+    for writers in writer_counts:
+        for stripe in (4, spec.pfs.n_osts):
+            samples = [
+                _one_archer_run(spec, writers, stripe,
+                                seed * 1000 + 17 * writers + r,
+                                with_background=True)
+                for r in range(reps)
+            ]
+            s = summarize(samples)
+            result.add_row(writers, stripe, s.min / MB, s.median / MB,
+                           s.max / MB, f"{s.spread:.1f}x")
+            peak = max(peak, s.max)
+            if stripe == spec.pfs.n_osts and writers >= 32:
+                # "even in that circumstance [full striping] we can see
+                # a four fold difference" — spread at fixed writers.
+                best_spread = max(best_spread, s.spread)
+    # Quiet-system peak with full striping (the paper's best case).
+    quiet = _one_archer_run(spec, max(writer_counts), spec.pfs.n_osts,
+                            seed, with_background=False)
+    result.metrics["peak_write_bandwidth"] = max(peak, quiet)
+    result.metrics["min_spread_factor"] = best_spread
+    result.notes.append(
+        "full striping reaches near filesystem peak only on quiet runs; "
+        "the spread at fixed writer count is pure cross-application "
+        "interference")
+    return result
+
+
+def _one_mn4_run(spec, nodes: int, mode: str, seed: int) -> float:
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    fabric, pfs = _bare_pfs(spec, sim)
+    shape = rng.stream(f"shape:{seed}")
+    # Few, large, long-lived competing bursts: sustained contention for
+    # the whole foreground run without an event blow-up.
+    import numpy as np
+    bg = BackgroundLoad(sim, pfs, rng.stream(f"bg:{seed}"),
+                        BackgroundLoadConfig(
+                            tenants=int(shape.integers(0, 5)),
+                            mean_think_seconds=float(shape.uniform(5.0, 30.0)),
+                            burst_log_mean=float(np.log(64 * GB)),
+                            burst_log_sigma=1.6,
+                            osts_per_burst=int(shape.integers(8, 33)),
+                            max_burst_width=int(shape.integers(1, 17))))
+    bg.start()
+    sim.run(until=rng.stream(f"warmup:{seed}").uniform(0.5, 4.0))
+    cfg = IorConfig(nodes=tuple(spec.nodes.node_names()[:nodes]),
+                    procs_per_node=2,       # fluid-flow stand-in for 24
+                    block_size=2 * GB,
+                    mode=mode)
+    if mode == "read":
+        from repro.storage.ior import prepare_files
+        prepare_files(cfg, pfs=pfs)
+    proc = sim.process(ior_process(sim, cfg, pfs=pfs))
+    res = sim.run(proc)
+    bg.stop()
+    return res.bandwidth
+
+
+def run_marenostrum(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    spec = marenostrum4_like(n_nodes=8 if quick else 32)
+    node_counts = (1, 4, 8) if quick else (1, 2, 4, 8, 16, 32)
+    reps = 3 if quick else 25
+    result = ExperimentResult(
+        exp_id="fig1b",
+        title="MareNostrum4-like IOR bandwidth vs nodes under "
+              "production load",
+        headers=("nodes", "op", "min MB/s", "median MB/s", "max MB/s",
+                 "spread"))
+    worst = 0.0
+    for nodes in node_counts:
+        for mode in ("read", "write"):
+            samples = [_one_mn4_run(spec, nodes, mode, seed * 977 + r)
+                       for r in range(reps)]
+            s = summarize(samples)
+            result.add_row(nodes, mode, s.min / MB, s.median / MB,
+                           s.max / MB, f"{s.spread:.1f}x")
+            worst = max(worst, s.spread)
+    result.metrics["min_spread_factor"] = worst
+    return result
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Both panels; returns the ARCHER panel with MN4 rows appended."""
+    a = run_archer(quick, seed)
+    b = run_marenostrum(quick, seed)
+    combined = ExperimentResult(
+        exp_id="fig1a", title=a.title + " + " + b.title,
+        headers=a.headers, rows=list(a.rows),
+        metrics={**a.metrics, "mn4_spread_factor": b.metrics["min_spread_factor"]},
+        notes=a.notes + b.notes)
+    return combined

@@ -1,0 +1,110 @@
+"""Figs. 6-7 — NORNS aggregated bandwidth for remote reads/writes.
+
+"The benchmark measures the aggregated bandwidth rate from up to 32
+clients reading/writing data in parallel from a single NORNS target ...
+using the ofi+tcp plugin ... with 1 and 16 RPCs in flight.  NORNS
+clients use a 16 MiB buffer for transfers."
+
+Findings to reproduce: per-client bandwidth saturates at ≈1.7 GiB/s
+(reads) / ≈1.8 GiB/s (writes) regardless of in-flight RPCs, and the
+aggregate scales linearly with client count, peaking at ≈55.6 GiB/s
+(reads) / ≈59.7 GiB/s (writes) at 32 clients.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import build, nextgenio
+from repro.experiments.harness import ExperimentResult
+from repro.sim.primitives import all_of
+from repro.util.units import GiB, MiB
+
+__all__ = ["run", "run_direction"]
+
+_BUFFER = 16 * MiB
+
+
+def _measure(handle, n_clients: int, inflight: int, direction: str,
+             bytes_per_client: int) -> tuple[float, float]:
+    """Returns (aggregate bandwidth, mean per-client bandwidth)."""
+    sim = handle.sim
+    target = handle.node_names[0]
+    handle.network.endpoint(target)
+    clients = handle.node_names[1:1 + n_clients]
+    per_client_bw: list[float] = []
+
+    def client(node: str):
+        ep = handle.network.endpoint(node)
+        chunks = max(1, bytes_per_client // _BUFFER)
+        per_stream = max(1, chunks // inflight)
+
+        def stream():
+            for _ in range(per_stream):
+                if direction == "read":
+                    yield ep.bulk_pull(target, _BUFFER)
+                else:
+                    yield ep.bulk_push(target, _BUFFER)
+
+        t0 = sim.now
+        yield all_of(sim, [sim.process(stream()) for _ in range(inflight)])
+        moved = per_stream * inflight * _BUFFER
+        per_client_bw.append(moved / (sim.now - t0))
+
+    t_start = sim.now
+    procs = [sim.process(client(c)) for c in clients]
+    sim.run(all_of(sim, procs))
+    elapsed = sim.now - t_start
+    total = len(clients) * max(1, bytes_per_client // _BUFFER) \
+        // inflight * inflight * _BUFFER
+    aggregate = total / elapsed
+    return aggregate, sum(per_client_bw) / len(per_client_bw)
+
+
+def run_direction(direction: str, quick: bool = True,
+                  seed: int = 0) -> ExperimentResult:
+    exp_id = "fig6" if direction == "read" else "fig7"
+    n_nodes = 9 if quick else 33
+    handle = build(nextgenio(n_nodes=n_nodes, workers=4), seed=seed)
+    client_counts = (1, 4, 8) if quick else (1, 2, 4, 8, 16, 32)
+    inflight_levels = (1, 16) if quick else (1, 2, 4, 8, 16)
+    bytes_per_client = 512 * MiB if quick else 2 * GiB
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=f"NORNS aggregated bandwidth for remote {direction}s "
+              "(ofi+tcp, 16 MiB buffers)",
+        headers=("clients", "rpcs in flight", "aggregate GiB/s",
+                 "per-client GiB/s"))
+    max_aggregate = 0.0
+    per_client_at_cap = 0.0
+    for inflight in inflight_levels:
+        for n in client_counts:
+            if n > n_nodes - 1:
+                continue
+            agg, per_client = _measure(handle, n, inflight, direction,
+                                       bytes_per_client)
+            result.add_row(n, inflight, agg / GiB, per_client / GiB)
+            max_aggregate = max(max_aggregate, agg)
+            per_client_at_cap = max(per_client_at_cap, per_client)
+    result.metrics["per_client_bandwidth"] = per_client_at_cap
+    n_max = max(c for c in client_counts if c <= n_nodes - 1)
+    # Linear-scaling extrapolation note for quick mode.
+    result.metrics[f"aggregate_{n_max}_clients"] = max_aggregate
+    if n_max == 32:
+        result.metrics["aggregate_32_clients"] = max_aggregate
+    else:
+        result.metrics["aggregate_32_clients"] = \
+            max_aggregate * 32 / n_max
+        result.notes.append(
+            f"quick mode: 32-client aggregate extrapolated from "
+            f"{n_max} clients (scaling is linear below NIC saturation)")
+    return result
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Both directions; returns Fig. 6 with Fig. 7 metrics merged."""
+    reads = run_direction("read", quick, seed)
+    writes = run_direction("write", quick, seed)
+    reads.metrics["write_per_client_bandwidth"] = \
+        writes.metrics["per_client_bandwidth"]
+    reads.metrics["write_aggregate_32_clients"] = \
+        writes.metrics["aggregate_32_clients"]
+    return reads

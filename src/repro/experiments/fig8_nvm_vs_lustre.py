@@ -1,0 +1,95 @@
+"""Fig. 8 — Lustre vs node-local Intel DCPMM on the NEXTGenIO prototype.
+
+"We used IOR to use the 48 cores available to each node to spawn
+processes that created as many independent files, both using Lustre for
+storage and Intel's node-local DCPMMs ... sequential ... transfer size
+of 512 KiB ... file sizes larger than 192 GiB to fill the node's RAM
+... 25 independent repetitions during a maintenance period."
+
+Findings: node-local aggregate bandwidth is far above Lustre's median —
+up to an order of magnitude at high node counts — and scales ~linearly
+with nodes, while Lustre stays flat at the filesystem's shared limits.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import build, nextgenio
+from repro.experiments.harness import ExperimentResult
+from repro.sim.primitives import all_of
+from repro.storage.ior import IorConfig, ior_process, prepare_files
+from repro.util.stats import summarize
+from repro.util.units import GB, KiB, MB
+
+__all__ = ["run"]
+
+
+def _one_run(handle, nodes: int, target: str, mode: str, rep: int,
+             procs_per_node: int, block_size: int) -> float:
+    sim = handle.sim
+    node_names = handle.node_names[:nodes]
+    cfg = IorConfig(nodes=tuple(node_names),
+                    procs_per_node=procs_per_node,
+                    block_size=block_size,
+                    transfer_size=512 * KiB,
+                    mode=mode,
+                    workdir=f"/ior/{target}/{mode}/{nodes}/{rep}")
+    if target == "lustre":
+        if mode == "read":
+            prepare_files(cfg, pfs=handle.pfs)
+        res = sim.run(sim.process(ior_process(sim, cfg, pfs=handle.pfs)))
+    else:
+        mounts = {n: handle.nodes[n].mounts["nvme0"] for n in node_names}
+        if mode == "read":
+            prepare_files(cfg, mounts=mounts)
+        res = sim.run(sim.process(ior_process(sim, cfg, mounts=mounts)))
+        # Free the space so repetitions don't exhaust the devices, and
+        # drop the files from the page cache (the paper sizes files
+        # past RAM; our runs delete between reps instead).
+        for n in node_names:
+            mount = handle.nodes[n].mounts["nvme0"]
+            for path, _c in list(mount.ns.walk_files(cfg.workdir)):
+                mount.delete(path)
+    return res.bandwidth
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n_max = 8 if quick else 32
+    handle = build(nextgenio(n_nodes=n_max, workers=4), seed=seed)
+    node_counts = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16, 24, 32)
+    reps = 2 if quick else 5
+    procs_per_node = 4        # fluid-flow stand-in for 48 ranks
+    block_size = 4 * GB       # per process; sized past the page cache
+    result = ExperimentResult(
+        exp_id="fig8",
+        title="Lustre vs node-local DCPMM (IOR file-per-process)",
+        headers=("nodes", "target", "op", "median MB/s"))
+    medians: dict[tuple, float] = {}
+    for nodes in node_counts:
+        for target in ("lustre", "dcpmm"):
+            for mode in ("read", "write"):
+                samples = [
+                    _one_run(handle, nodes, target, mode, r,
+                             procs_per_node, block_size)
+                    for r in range(reps)
+                ]
+                s = summarize(samples)
+                medians[(nodes, target, mode)] = s.median
+                result.add_row(nodes, target, mode, s.median / MB)
+    top = max(node_counts)
+    ratio_read = medians[(top, "dcpmm", "read")] / medians[(top, "lustre", "read")]
+    ratio_write = medians[(top, "dcpmm", "write")] / medians[(top, "lustre", "write")]
+    result.metrics["nvm_vs_lustre_at_scale"] = min(ratio_read, ratio_write)
+    # Linearity of DCPMM scaling: bandwidth(top)/bandwidth(1) ~ top.
+    result.metrics["nvm_scaling_factor"] = (
+        medians[(top, "dcpmm", "write")] / medians[(1, "dcpmm", "write")])
+    # Flatness at scale: doubling the node count from top/2 to top
+    # barely moves Lustre (it rises at small counts, then pins at the
+    # shared OST/front limits, like the paper's median curve).
+    half = max(n for n in node_counts if n <= top // 2)
+    result.metrics["lustre_flatness"] = (
+        medians[(top, "lustre", "write")]
+        / medians[(half, "lustre", "write")])
+    result.notes.append(
+        "DCPMM aggregate scales with node count (every node brings its "
+        "own devices); Lustre is pinned at the shared OST/front limits")
+    return result

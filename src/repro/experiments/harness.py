@@ -1,0 +1,40 @@
+"""Experiment result container and shared drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated numbers behind one paper figure/table."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    #: named scalar findings (peaks, ratios) used for assertions and
+    #: the paper-vs-measured report.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        self.rows.append(tuple(cells))
+
+    def metric(self, name: str) -> float:
+        return self.metrics[name]
+
+    def table(self) -> str:
+        out = render_table(self.headers, self.rows,
+                           title=f"[{self.exp_id}] {self.title}")
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+    def __str__(self) -> str:
+        return self.table()

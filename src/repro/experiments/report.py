@@ -1,0 +1,37 @@
+"""Paper-vs-measured reporting."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.calibration import PAPER
+from repro.experiments.harness import ExperimentResult
+from repro.util.tables import render_table
+
+__all__ = ["compare_table", "render_all"]
+
+
+def compare_table(result: ExperimentResult) -> str:
+    """Render measured metrics against the paper's values."""
+    paper = PAPER.get(result.exp_id, {})
+    rows = []
+    for name, measured in sorted(result.metrics.items()):
+        expected = paper.get(name)
+        if expected is None:
+            rows.append((name, "-", f"{measured:.4g}", "-"))
+        else:
+            ratio = measured / expected if expected else float("nan")
+            rows.append((name, f"{expected:.4g}", f"{measured:.4g}",
+                         f"{ratio:.2f}x"))
+    return render_table(("metric", "paper", "measured", "ratio"), rows,
+                        title=f"[{result.exp_id}] paper vs measured")
+
+
+def render_all(results: Iterable[ExperimentResult]) -> str:
+    """Full report: each experiment's table plus its comparison."""
+    chunks = []
+    for r in results:
+        chunks.append(r.table())
+        if r.metrics:
+            chunks.append(compare_table(r))
+    return "\n\n".join(chunks)

@@ -1,0 +1,61 @@
+"""Run the full experiment battery and print the report.
+
+Usage::
+
+    python -m repro.experiments.runall [--full] [--only fig4,table3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.report import compare_table
+
+#: ordered registry of (name, module path).
+REGISTRY = (
+    ("fig1", "repro.experiments.fig1_interference"),
+    ("fig4", "repro.experiments.fig4_local_requests"),
+    ("fig5", "repro.experiments.fig5_remote_requests"),
+    ("fig67", "repro.experiments.fig67_transfer_rates"),
+    ("fig8", "repro.experiments.fig8_nvm_vs_lustre"),
+    ("table3", "repro.experiments.table3_synthetic_workflow"),
+    ("table4", "repro.experiments.table4_staging_impact"),
+    ("table5", "repro.experiments.table5_openfoam"),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale parameters (slow)")
+    parser.add_argument("--only", default="",
+                        help="comma-separated experiment names")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    wanted = {w.strip() for w in args.only.split(",") if w.strip()}
+
+    import importlib
+    failures = 0
+    for name, modpath in REGISTRY:
+        if wanted and name not in wanted:
+            continue
+        mod = importlib.import_module(modpath)
+        t0 = time.time()
+        try:
+            result = mod.run(quick=not args.full, seed=args.seed)
+        except Exception as exc:  # keep the battery going
+            print(f"[{name}] FAILED: {exc!r}", file=sys.stderr)
+            failures += 1
+            continue
+        wall = time.time() - t0
+        print(result.table())
+        if result.metrics:
+            print(compare_table(result))
+        print(f"  (wall time {wall:.1f}s)\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,151 @@
+"""Table IV — synthetic workflow with data staging + HPCG interference.
+
+"For the staging benchmark we run another application on the nodes
+where the data staging was occurring (both post-producer and
+pre-consumer staging) ... We ran a small HPCG test case that would
+complete in ≈122 seconds using 48 MPI processes per node ... the
+Producer and Consumer tasks are not affected by this mode of operation
+... We experience an approximately 15 % increase in runtime for the
+HPCG benchmark."
+
+Rows reproduced: producer 64 s, consumer 30 s (unchanged by staging),
+HPCG 122 s alone, ≈137 s co-located with stage-out, ≈142 s with
+stage-in.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import build, nextgenio
+from repro.experiments.harness import ExperimentResult
+from repro.norns.resources import posix_path
+from repro.norns.task import TaskStatus, TaskType
+from repro.sim.primitives import all_of
+from repro.slurm.job import StepContext
+from repro.util.units import GB
+from repro.workloads.hpcg import HpcgConfig, hpcg_program
+from repro.workloads.synthetic import (
+    SyntheticWorkflowConfig, consumer_spec, producer_spec,
+)
+
+__all__ = ["run"]
+
+
+def _hpcg_once(handle, node: str) -> float:
+    """Run HPCG alone on ``node``; returns its runtime."""
+    sim = handle.sim
+    ctx = StepContext(sim, _FakeJob(), node, 0,
+                      handle.nodes[node].slurmd.resolve_backend,
+                      None, membus=handle.fabric.port(node).membus)
+    t0 = sim.now
+    sim.run(sim.process(hpcg_program(HpcgConfig())(ctx)))
+    return sim.now - t0
+
+
+class _FakeJob:
+    """Minimal stand-in so a StepContext can run outside a Slurm job."""
+
+    class _Spec:
+        dataspaces = ("nvme0://", "tmp0://", "lustre://")
+
+    spec = _Spec()
+    environment: dict = {}
+
+
+def _hpcg_with_staging(handle, node: str, direction: str,
+                       total_bytes: int, n_files: int) -> float:
+    """HPCG co-located with admin staging tasks; returns HPCG runtime."""
+    sim = handle.sim
+    nvme = handle.nodes[node].mounts["nvme0"]
+    per_file = total_bytes // n_files
+    # Prepare source data.
+    if direction == "out":
+        for i in range(n_files):
+            sim.run(nvme.write_file(f"/stage/f{i}.dat", per_file,
+                                    token=f"t4:{i}"))
+    else:
+        for i in range(n_files):
+            sim.run(handle.pfs.write(node, f"/proj/stage/f{i}.dat",
+                                     per_file, token=f"t4:{i}"))
+
+    ctx = StepContext(sim, _FakeJob(), node, 0,
+                      handle.nodes[node].slurmd.resolve_backend,
+                      None, membus=handle.fabric.port(node).membus)
+
+    hpcg_elapsed = {}
+
+    def hpcg_run():
+        t0 = sim.now
+        yield sim.process(hpcg_program(HpcgConfig())(ctx))
+        hpcg_elapsed["seconds"] = sim.now - t0
+
+    def staging_run():
+        ctl = handle.nodes[node].slurmd.ctl()
+        tasks = []
+        for i in range(n_files):
+            if direction == "out":
+                tsk = ctl.iotask_init(
+                    TaskType.COPY,
+                    posix_path("nvme0://", f"/stage/f{i}.dat"),
+                    posix_path("lustre://", f"/proj/staged/f{i}.dat"))
+            else:
+                tsk = ctl.iotask_init(
+                    TaskType.COPY,
+                    posix_path("lustre://", f"/proj/stage/f{i}.dat"),
+                    posix_path("nvme0://", f"/staged/f{i}.dat"))
+            yield from ctl.submit(tsk)
+            tasks.append(tsk)
+        for tsk in tasks:
+            stats = yield from ctl.wait(tsk)
+            assert stats.status is TaskStatus.FINISHED, stats.detail
+        ctl.close()
+
+    hp = sim.process(hpcg_run())
+    st = sim.process(staging_run())
+    sim.run(all_of(sim, [hp, st]))
+    # Cleanup for subsequent phases.
+    for path, _c in list(nvme.ns.walk_files("/")):
+        nvme.delete(path)
+    return hpcg_elapsed["seconds"]
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    handle = build(nextgenio(n_nodes=4), seed=seed)
+    total = 100 * GB
+    n_files = 10
+    result = ExperimentResult(
+        exp_id="table4",
+        title="Synthetic workflow benchmark with data staging "
+              "(+ HPCG on the staging nodes)",
+        headers=("component", "runtime s", "paper s"))
+
+    # Producer/consumer in the staged configuration (different nodes,
+    # data staged out post-producer / in pre-consumer).
+    cfg = SyntheticWorkflowConfig(mode="nvm-staged")
+    ctld = handle.ctld
+    producer = ctld.submit(producer_spec(cfg))
+    consumer = ctld.submit(consumer_spec(cfg, producer.job_id))
+    handle.sim.run(consumer.done)
+    assert consumer.state.value == "completed", consumer.reason
+    prod_t = ctld.accounting.get(producer.job_id).run_seconds
+    cons_t = ctld.accounting.get(consumer.job_id).run_seconds
+
+    node = handle.node_names[-1]   # an idle node for the HPCG study
+    hpcg_alone = _hpcg_once(handle, node)
+    hpcg_out = _hpcg_with_staging(handle, node, "out", total, n_files)
+    hpcg_in = _hpcg_with_staging(handle, node, "in", total, n_files)
+
+    result.add_row("Producer", prod_t, 64)
+    result.add_row("Consumer", cons_t, 30)
+    result.add_row("HPCG stage out", hpcg_out, 137)
+    result.add_row("HPCG stage in", hpcg_in, 142)
+    result.add_row("HPCG no activity", hpcg_alone, 122)
+    result.metrics["producer"] = prod_t
+    result.metrics["consumer"] = cons_t
+    result.metrics["hpcg_stage_out"] = hpcg_out
+    result.metrics["hpcg_stage_in"] = hpcg_in
+    result.metrics["hpcg_no_activity"] = hpcg_alone
+    result.notes.append(
+        f"HPCG slowdown: stage-out +{(hpcg_out / hpcg_alone - 1) * 100:.0f}%, "
+        f"stage-in +{(hpcg_in / hpcg_alone - 1) * 100:.0f}% "
+        "(paper: ~12-16%)")
+    return result

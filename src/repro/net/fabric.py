@@ -1,0 +1,119 @@
+"""The cluster interconnect model.
+
+Every node owns a NIC with separate egress/ingress capacities; all
+inter-node traffic additionally traverses a shared *fabric core*
+(bisection) constraint.  A transfer between two nodes is a flow through
+``[src egress, core, dst ingress]``, so NIC saturation, incast into a
+single staging target (Figs. 6–7) and global congestion all emerge from
+the max-min allocation.
+
+Intra-node "transfers" (e.g. a memory→NVM plugin) bypass the fabric and
+are bounded by the node's memory-bus constraint instead, which is also
+what lets staging interfere with memory-bound applications (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import AddressLookupError, SimError
+from repro.sim.core import Event, Simulator
+from repro.sim.flows import CapacityConstraint, FlowScheduler
+
+__all__ = ["NodePort", "Fabric"]
+
+
+@dataclass
+class NodePort:
+    """A node's attachment to the fabric."""
+
+    name: str
+    egress: CapacityConstraint
+    ingress: CapacityConstraint
+    membus: CapacityConstraint
+
+
+class Fabric:
+    """Topology-aware byte mover built on the flow engine."""
+
+    def __init__(self, sim: Simulator, core_bandwidth: float,
+                 base_latency: float = 1.0e-6,
+                 flows: Optional[FlowScheduler] = None) -> None:
+        self.sim = sim
+        self.flows = flows if flows is not None else FlowScheduler(sim)
+        self.core = CapacityConstraint("fabric:core", core_bandwidth)
+        self.base_latency = base_latency
+        self._ports: Dict[str, NodePort] = {}
+
+    # -- topology -------------------------------------------------------
+    def add_node(self, name: str, nic_bandwidth: float,
+                 membus_bandwidth: float = 1e12) -> NodePort:
+        """Attach a node; NIC capacity applies independently per direction."""
+        if name in self._ports:
+            raise SimError(f"node {name!r} already attached")
+        if nic_bandwidth <= 0 or membus_bandwidth <= 0:
+            raise SimError("bandwidths must be positive")
+        port = NodePort(
+            name=name,
+            egress=CapacityConstraint(f"{name}:egress", nic_bandwidth),
+            ingress=CapacityConstraint(f"{name}:ingress", nic_bandwidth),
+            membus=CapacityConstraint(f"{name}:membus", membus_bandwidth),
+        )
+        self._ports[name] = port
+        return port
+
+    def port(self, name: str) -> NodePort:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise AddressLookupError(f"unknown node {name!r}") from None
+
+    def nodes(self) -> list[str]:
+        return sorted(self._ports)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ports
+
+    # -- movement ---------------------------------------------------------
+    def route(self, src: str, dst: str) -> Sequence[CapacityConstraint]:
+        """Constraints crossed by a ``src -> dst`` transfer."""
+        if src == dst:
+            return (self.port(src).membus,)
+        return (self.port(src).egress, self.core, self.port(dst).ingress)
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way propagation latency (zero for loopback)."""
+        if src == dst:
+            return 0.0
+        self.port(src), self.port(dst)  # existence check
+        return self.base_latency
+
+    def transfer(self, src: str, dst: str, size: float,
+                 rate_cap: Optional[float] = None,
+                 extra_constraints: Sequence[CapacityConstraint] = (),
+                 label: str = "") -> Event:
+        """Move ``size`` bytes from ``src`` to ``dst``; completion event.
+
+        ``extra_constraints`` lets callers thread in device/PFS limits so
+        a staging transfer is simultaneously bounded by the network *and*
+        the storage medium it lands on.
+        """
+        constraints = list(self.route(src, dst)) + list(extra_constraints)
+        done = self.sim.event(name=f"fabric:{src}->{dst}")
+        flow_done = self.flows.transfer(size, constraints, rate_cap,
+                                        label=label or f"{src}->{dst}")
+        lat = self.latency(src, dst)
+
+        def after_flow(ev: Event) -> None:
+            if ev.ok:
+                if lat > 0:
+                    self.sim.timeout(lat).add_callback(
+                        lambda _e: done.succeed(ev.value))
+                else:
+                    done.succeed(ev.value)
+            else:
+                done.fail(ev.value)
+
+        flow_done.add_callback(after_flow)
+        return done

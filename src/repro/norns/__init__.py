@@ -1,0 +1,46 @@
+"""The NORNS service — the paper's primary contribution.
+
+Components (Figure 3 of the paper):
+
+* :mod:`repro.norns.urd` — the per-compute-node resource-control daemon:
+  accept loop over the control/user sockets, task queue with a pluggable
+  task scheduler, worker pool, transfer plugins, completion list, and a
+  Mercury-based network manager for node-to-node transfers.
+* :mod:`repro.norns.dataspace` — the *dataspace* abstraction hiding
+  storage-tier details behind IDs like ``lustre://`` and ``nvme0://``.
+* :mod:`repro.norns.task` — I/O task descriptors and lifecycle
+  (``norns_iotask_t`` / ``norns_stat_t`` analogues).
+* :mod:`repro.norns.controller` — the job & dataspace controller that
+  validates every request against registered jobs/processes.
+* :mod:`repro.norns.plugins` — transfer plugins per resource-type pair
+  (Table II).
+* :mod:`repro.norns.api` — the ``nornsctl`` (control) and ``norns``
+  (user) client APIs.
+"""
+
+from repro.norns.resources import (
+    DataResource, memory_region, posix_path, remote_path,
+)
+from repro.norns.task import IOTask, TaskStats, TaskStatus, TaskType
+from repro.norns.dataspace import Dataspace, LocalBackend, SharedBackend
+from repro.norns.queue import (
+    FCFSPolicy, PriorityPolicy, ShortestJobFirstPolicy, FairSharePolicy,
+    TaskQueue,
+)
+from repro.norns.eta import TransferRateTracker
+from repro.norns.controller import Controller, JobRegistration
+from repro.norns.urd import UrdConfig, UrdDaemon, UrdDirectory
+from repro.norns.api.control import NornsCtlClient
+from repro.norns.api.user import NornsClient
+
+__all__ = [
+    "DataResource", "memory_region", "posix_path", "remote_path",
+    "IOTask", "TaskStats", "TaskStatus", "TaskType",
+    "Dataspace", "LocalBackend", "SharedBackend",
+    "TaskQueue", "FCFSPolicy", "PriorityPolicy", "ShortestJobFirstPolicy",
+    "FairSharePolicy",
+    "TransferRateTracker",
+    "Controller", "JobRegistration",
+    "UrdConfig", "UrdDaemon", "UrdDirectory",
+    "NornsCtlClient", "NornsClient",
+]

@@ -1,0 +1,14 @@
+"""Client APIs: ``nornsctl`` (administrative) and ``norns`` (user).
+
+Both are thin stubs that serialize requests with :mod:`repro.wire` and
+talk to the local urd over its AF_UNIX sockets — exactly the structure
+of the paper's C libraries (Section IV-C).  Method names keep the
+``nornsctl_`` / ``norns_`` verbs of Table I.
+"""
+
+from repro.norns.api.common import ApiError, raise_for_code
+from repro.norns.api.control import NornsCtlClient
+from repro.norns.api.user import NornsClient, ClientTask
+
+__all__ = ["NornsCtlClient", "NornsClient", "ClientTask", "ApiError",
+           "raise_for_code"]

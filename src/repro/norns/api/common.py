@@ -1,0 +1,97 @@
+"""Shared client-side machinery: framing, error mapping, base client."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import (
+    NornsAccessDenied, NornsBusyDataspace, NornsDataspaceExists,
+    NornsDataspaceNotFound, NornsError, NornsJobNotFound,
+    NornsNoPlugin, NornsNotRegistered, NornsTaskError, NornsTimeout,
+)
+from repro.net.sockets import Credentials, LocalSocketHub
+from repro.wire import decode_frame, encode_frame
+from repro.wire import norns_proto as proto
+
+__all__ = ["ApiError", "raise_for_code", "BaseClient"]
+
+
+class ApiError(NornsError):
+    """Unmapped daemon-side error code."""
+
+
+_CODE_TO_EXC = {
+    proto.ERR_NOSUCHNSID: NornsDataspaceNotFound,
+    proto.ERR_NSIDEXISTS: NornsDataspaceExists,
+    proto.ERR_NOTREGISTERED: NornsNotRegistered,
+    proto.ERR_ACCESSDENIED: NornsAccessDenied,
+    proto.ERR_TASKERROR: NornsTaskError,
+    proto.ERR_NOPLUGIN: NornsNoPlugin,
+    proto.ERR_TIMEOUT: NornsTimeout,
+    proto.ERR_BUSY: NornsBusyDataspace,
+    proto.ERR_NOSUCHJOB: NornsJobNotFound,
+}
+
+
+def raise_for_code(code: int, detail: str = "") -> None:
+    """Translate a wire error code into the NornsError family."""
+    if code == proto.ERR_SUCCESS:
+        return
+    exc_cls = _CODE_TO_EXC.get(code, ApiError)
+    raise exc_cls(detail or f"error code {code}")
+
+
+class BaseClient:
+    """One synchronous connection to a urd socket.
+
+    Methods are generators (simulation processes): ``yield from`` them
+    or wrap with ``sim.process``.  A client issues one request at a time
+    over its channel, like the blocking C API.
+    """
+
+    def __init__(self, sim, hub: LocalSocketHub, creds: Credentials,
+                 socket_path: str, pid: int = 0) -> None:
+        self.sim = sim
+        self.hub = hub
+        self.creds = creds
+        self.socket_path = socket_path
+        self.pid = pid
+        self._chan = None
+
+    @property
+    def connected(self) -> bool:
+        return self._chan is not None and not self._chan.closed
+
+    def connect(self):
+        """Establish the channel (permission-checked by the hub)."""
+        self._chan = yield self.hub.connect(self.socket_path, self.creds)
+        return self
+
+    def close(self) -> None:
+        if self._chan is not None:
+            self._chan.close()
+            self._chan = None
+
+    def _roundtrip(self, message):
+        """Send one request frame, return the decoded response."""
+        if self._chan is None:
+            yield from self.connect()
+        yield self._chan.send(encode_frame(proto.NORNS_PROTOCOL, message))
+        raw = yield self._chan.recv()
+        if raw is None:
+            raise NornsError("daemon closed the connection")
+        response, _ = decode_frame(proto.NORNS_PROTOCOL, raw)
+        return response
+
+    def _checked(self, message):
+        """Roundtrip + raise on error codes; returns the response."""
+        response = yield from self._roundtrip(message)
+        code = getattr(response, "error_code", proto.ERR_SUCCESS)
+        detail = getattr(response, "detail", "")
+        raise_for_code(code, detail)
+        return response
+
+    # shared by both APIs (Table I lists task management on both sides)
+    def ping(self):
+        resp = yield from self._checked(proto.CommandRequest(command="ping"))
+        return resp.detail

@@ -1,0 +1,115 @@
+"""The ``norns`` user API (Table I, bottom half).
+
+Used by application processes running inside a batch job: query the
+dataspaces the scheduler configured for them, then define, submit,
+monitor and wait on I/O tasks — the Listing 2 workflow::
+
+    task = client.iotask_init(TaskType.COPY,
+                              memory_region(size),
+                              posix_path("tmp0://", "path/to/output"))
+    yield from client.submit(task)
+    ...  # work not dependent on the task
+    stats = yield from client.wait(task)
+    if stats.status is TaskStatus.ERROR: ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NornsError
+from repro.net.sockets import Credentials, LocalSocketHub
+from repro.norns.api.common import BaseClient, raise_for_code
+from repro.norns.resources import DataResource
+from repro.norns.task import TaskStats, TaskStatus, TaskType
+from repro.wire import norns_proto as proto
+
+__all__ = ["ClientTask", "NornsClient"]
+
+
+@dataclass
+class ClientTask:
+    """Client-side task handle (``norns_iotask_t``)."""
+
+    task_type: TaskType
+    src: Optional[DataResource]
+    dst: Optional[DataResource]
+    priority: int = 0
+    task_id: Optional[int] = None       # set by submit()
+    eta_seconds: float = 0.0            # daemon estimate at submission
+
+    @property
+    def submitted(self) -> bool:
+        return self.task_id is not None
+
+
+def _stats_from_response(resp: proto.TaskStatusResponse) -> TaskStats:
+    return TaskStats(status=TaskStatus(resp.status),
+                     error_code=resp.task_error,
+                     bytes_total=resp.bytes_total,
+                     bytes_moved=resp.bytes_moved)
+
+
+class NornsClient(BaseClient):
+    """User-socket client bound to one application process (pid)."""
+
+    def __init__(self, sim, hub: LocalSocketHub, creds: Credentials,
+                 pid: int,
+                 socket_path: str = "/var/run/norns/urd.usr.sock") -> None:
+        super().__init__(sim, hub, creds, socket_path, pid=pid)
+
+    # -- norns_iotask_init ------------------------------------------------
+    @staticmethod
+    def iotask_init(task_type: TaskType, src: Optional[DataResource],
+                    dst: Optional[DataResource] = None,
+                    priority: int = 0) -> ClientTask:
+        """Build a task descriptor (pure client-side, no I/O)."""
+        return ClientTask(task_type=TaskType(task_type), src=src, dst=dst,
+                          priority=priority)
+
+    # -- norns_submit ---------------------------------------------------------
+    def submit(self, task: ClientTask):
+        """Submit asynchronously; fills ``task.task_id`` and ETA."""
+        if task.submitted:
+            raise NornsError(f"task {task.task_id} already submitted")
+        msg = proto.IotaskSubmitRequest(
+            task_type=int(task.task_type),
+            input=task.src.to_wire() if task.src else None,
+            output=task.dst.to_wire() if task.dst else None,
+            pid=self.pid, priority=task.priority, admin=False)
+        resp = yield from self._checked(msg)
+        task.task_id = resp.task_id
+        task.eta_seconds = resp.eta_seconds
+        return task
+
+    # -- norns_wait -------------------------------------------------------------
+    def wait(self, task: ClientTask, timeout: Optional[float] = None):
+        """Block until the task completes (or ``timeout`` seconds pass).
+
+        Returns final :class:`TaskStats`; raises
+        :class:`~repro.errors.NornsTimeout` when the timeout fires first
+        (the task keeps running — poll again or wait more).
+        """
+        if not task.submitted:
+            raise NornsError("wait() on an unsubmitted task")
+        msg = proto.IotaskWaitRequest(task_id=task.task_id, pid=self.pid,
+                                      timeout_seconds=timeout or 0.0)
+        resp = yield from self._checked(msg)
+        return _stats_from_response(resp)
+
+    # -- norns_error ---------------------------------------------------------------
+    def error(self, task: ClientTask):
+        """Non-blocking status/outcome query (``norns_error``)."""
+        if not task.submitted:
+            raise NornsError("error() on an unsubmitted task")
+        msg = proto.IotaskStatusRequest(task_id=task.task_id, pid=self.pid)
+        resp = yield from self._checked(msg)
+        return _stats_from_response(resp)
+
+    # -- norns_get_dataspace_info ------------------------------------------------
+    def get_dataspace_info(self):
+        """List the dataspaces this process may use."""
+        msg = proto.GetDataspaceInfoRequest(pid=self.pid)
+        resp = yield from self._checked(msg)
+        return list(resp.dataspaces)

@@ -1,0 +1,198 @@
+"""Dataspaces: the storage-tier abstraction NORNS exposes to jobs.
+
+A *dataspace* ("data namespace", Section IV-A) is an ID like
+``lustre://``, ``nvme0://`` or ``tmp0://`` bound to a storage backend.
+Slurm registers them per node when configuring a job; applications refer
+to them by ID and never learn the tier's technical details.
+
+Two backend families:
+
+* :class:`LocalBackend` wraps a node-local :class:`~repro.storage.posix.Mount`
+  (NVMe, DCPMM, tmpfs);
+* :class:`SharedBackend` wraps a cluster-shared system (the PFS or a
+  burst buffer) as seen from one node.
+
+Both expose the same interface used by transfer plugins: timed
+``read_file``/``write_file`` accepting extra flow constraints, plus
+metadata operations.  Tracking (for the paper's "tracked dataspaces"
+node-release check) is a flag interpreted by the controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from repro.errors import NornsError
+from repro.sim.core import Event
+from repro.sim.flows import CapacityConstraint
+from repro.storage.filesystem import FileContent
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.posix import Mount
+
+__all__ = ["StorageBackend", "LocalBackend", "SharedBackend",
+           "BurstBufferBackend", "Dataspace"]
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What a transfer plugin needs from a dataspace's storage."""
+
+    def read_file(self, path: str, expect: Optional[FileContent] = None,
+                  extra_constraints: Sequence[CapacityConstraint] = ()) -> Event: ...
+
+    def write_file(self, path: str, size: int, token: Optional[str] = None,
+                   extra_constraints: Sequence[CapacityConstraint] = ()) -> Event: ...
+
+    def delete(self, path: str) -> None: ...
+
+    def exists(self, path: str) -> bool: ...
+
+    def stat(self, path: str) -> FileContent: ...
+
+    def is_empty(self, path: str = "/") -> bool: ...
+
+
+class LocalBackend:
+    """Node-local mount (NVMe/DCPMM/tmpfs) behind a dataspace."""
+
+    kind = "local"
+
+    def __init__(self, mount: Mount) -> None:
+        self.mount = mount
+
+    # Constraint handles used when this backend is one *side* of a
+    # composed flow (e.g. sendfile local->local, or an RDMA pull whose
+    # data originates here).
+    @property
+    def read_constraint(self) -> CapacityConstraint:
+        return self.mount.device.read_path
+
+    @property
+    def write_constraint(self) -> CapacityConstraint:
+        return self.mount.device.write_path
+
+    def read_file(self, path, expect=None, extra_constraints=()):
+        return self.mount.read_file(path, expect=expect,
+                                    extra_constraints=extra_constraints)
+
+    def write_file(self, path, size, token=None, extra_constraints=(),
+                   content=None):
+        return self.mount.write_file(path, size, token=token,
+                                     extra_constraints=extra_constraints,
+                                     content=content)
+
+    def delete(self, path: str) -> None:
+        self.mount.delete(path)
+
+    def exists(self, path: str) -> bool:
+        return self.mount.exists(path)
+
+    def stat(self, path: str) -> FileContent:
+        return self.mount.stat(path)
+
+    def is_empty(self, path: str = "/") -> bool:
+        return self.mount.is_empty(path)
+
+    def used_bytes(self) -> float:
+        return self.mount.used_bytes()
+
+
+class SharedBackend:
+    """A shared system (PFS/burst buffer) as seen from one node."""
+
+    kind = "shared"
+
+    def __init__(self, pfs: ParallelFileSystem, node: str) -> None:
+        self.pfs = pfs
+        self.node = node
+
+    def read_file(self, path, expect=None, extra_constraints=()):
+        return self.pfs.read(self.node, path, expect=expect,
+                             extra_constraints=extra_constraints)
+
+    def write_file(self, path, size, token=None, extra_constraints=(),
+                   content=None):
+        return self.pfs.write(self.node, path, size, token=token,
+                              extra_constraints=extra_constraints,
+                              content=content)
+
+    def delete(self, path: str) -> None:
+        # Shared-backend deletes are metadata ops; timing handled by PFS.
+        self.pfs.ns.unlink(path)
+
+    def exists(self, path: str) -> bool:
+        return self.pfs.ns.exists(path)
+
+    def stat(self, path: str) -> FileContent:
+        return self.pfs.ns.lookup(path)
+
+    def is_empty(self, path: str = "/") -> bool:
+        return self.pfs.ns.is_empty(path)
+
+
+class BurstBufferBackend:
+    """A shared burst-buffer appliance as seen from one node.
+
+    The paper lists "implementing transfer plugins for shared burst
+    buffers" as future work; since the appliance exposes the same
+    shared-backend interface as the PFS, the existing ``shared``-kind
+    plugins (stage-in/stage-out/mem-offload) work against it unchanged
+    — register a ``bb://`` dataspace with this backend and NORNS can
+    stage through the appliance.
+    """
+
+    kind = "shared"
+
+    def __init__(self, bb, node: str) -> None:
+        self.bb = bb
+        self.node = node
+
+    def read_file(self, path, expect=None, extra_constraints=()):
+        return self.bb.read(self.node, path, expect=expect,
+                            extra_constraints=extra_constraints)
+
+    def write_file(self, path, size, token=None, extra_constraints=(),
+                   content=None):
+        return self.bb.write(self.node, path, size, token=token,
+                             extra_constraints=extra_constraints,
+                             content=content)
+
+    def delete(self, path: str) -> None:
+        self.bb.delete(path)
+
+    def exists(self, path: str) -> bool:
+        return self.bb.ns.exists(path)
+
+    def stat(self, path: str) -> FileContent:
+        return self.bb.ns.lookup(path)
+
+    def is_empty(self, path: str = "/") -> bool:
+        return self.bb.ns.is_empty(path)
+
+
+class Dataspace:
+    """A registered dataspace on one node."""
+
+    def __init__(self, nsid: str, backend, backend_kind: str = "",
+                 quota_bytes: int = 0, track: bool = False) -> None:
+        if not nsid:
+            raise NornsError("dataspace needs a non-empty id")
+        self.nsid = nsid
+        self.backend = backend
+        self.backend_kind = backend_kind or getattr(backend, "kind", "unknown")
+        self.quota_bytes = quota_bytes
+        #: When True, Slurm asked NORNS to *track* this dataspace: the
+        #: daemon reports whether data remains before a node release.
+        self.track = track
+
+    @property
+    def is_shared(self) -> bool:
+        return getattr(self.backend, "kind", "") == "shared"
+
+    def has_data(self) -> bool:
+        """True when any file lives in the dataspace (tracked check)."""
+        return not self.backend.is_empty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Dataspace {self.nsid} kind={self.backend_kind} "
+                f"track={self.track}>")

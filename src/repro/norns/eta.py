@@ -1,0 +1,85 @@
+"""Transfer-rate monitoring and E.T.A. estimation.
+
+Section IV-A: each urd "monitor[s] the performance of such transfers in
+order to compute an E.T.A. for each task ... so that slurmctld can
+estimate how long a node may be 'in use' by data transfers before a job
+starts and after a job completes".
+
+We keep an exponentially weighted moving average of observed bandwidth
+per *route* (a (source-kind, destination-kind) pair such as
+``("shared", "local")`` for PFS→NVM stage-ins), seeded with a
+configurable prior so the very first estimate is usable.  The E.T.A. of
+a new task is then::
+
+    (bytes queued ahead on the same route + task bytes) / ewma_rate
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import NornsError
+
+__all__ = ["RouteEstimate", "TransferRateTracker"]
+
+Route = Tuple[str, str]
+
+
+@dataclass
+class RouteEstimate:
+    """EWMA state for one route."""
+
+    rate: float          # bytes/s
+    observations: int = 0
+
+    def update(self, rate_sample: float, alpha: float) -> None:
+        if self.observations == 0:
+            self.rate = rate_sample
+        else:
+            self.rate = alpha * rate_sample + (1 - alpha) * self.rate
+        self.observations += 1
+
+
+class TransferRateTracker:
+    """Per-route bandwidth EWMA + E.T.A. computation."""
+
+    def __init__(self, default_rate: float = 1.0e9, alpha: float = 0.3) -> None:
+        if default_rate <= 0:
+            raise NornsError("default_rate must be positive")
+        if not 0 < alpha <= 1:
+            raise NornsError("alpha must be in (0, 1]")
+        self.default_rate = default_rate
+        self.alpha = alpha
+        self._routes: Dict[Route, RouteEstimate] = {}
+
+    def observe(self, route: Route, nbytes: float, seconds: float) -> None:
+        """Record one finished transfer."""
+        if seconds <= 0 or nbytes <= 0:
+            return  # zero-byte or instantaneous ops carry no signal
+        est = self._routes.setdefault(route, RouteEstimate(self.default_rate))
+        est.update(nbytes / seconds, self.alpha)
+
+    def rate(self, route: Route) -> float:
+        """Current bandwidth estimate for a route (bytes/s)."""
+        est = self._routes.get(route)
+        return est.rate if est is not None else self.default_rate
+
+    def observations(self, route: Route) -> int:
+        est = self._routes.get(route)
+        return est.observations if est is not None else 0
+
+    def eta(self, route: Route, nbytes: float,
+            queued_bytes_ahead: float = 0.0) -> float:
+        """Seconds until a task of ``nbytes`` on ``route`` would finish."""
+        return (queued_bytes_ahead + nbytes) / self.rate(route)
+
+    def routes(self) -> Dict[Route, float]:
+        """Snapshot of every observed route's current rate estimate.
+
+        This is the feedback channel the paper's conclusions call for:
+        "Information about observed I/O performance could be fed back
+        to the job scheduler so that it could take better informed
+        decisions."
+        """
+        return {route: est.rate for route, est in sorted(self._routes.items())}

@@ -1,0 +1,50 @@
+"""Transfer plugins: one per (source-kind, destination-kind) pair.
+
+Section IV-B: "NORNS supports defining specific plugins to transfer
+data between a pair of resource types, which allows developers to write
+high performance data transfers based on the internals of each data
+resource" (Table II lists the shipped pairs).
+
+Kinds: ``memory`` (process buffers), ``local`` (node-local dataspace),
+``shared`` (PFS / burst buffer dataspace), ``remote`` (dataspace on
+another node).  :func:`default_registry` assembles the full Table-II set
+plus the staging pairs the Slurm integration uses.
+"""
+
+from repro.norns.plugins.base import (
+    PluginRegistry, TransferContext, TransferPlugin, resource_kind,
+)
+from repro.norns.plugins.local import (
+    LocalToLocalPlugin, MemoryToLocalPlugin,
+)
+from repro.norns.plugins.remote import (
+    LocalToRemotePlugin, MemoryToRemotePlugin, RemoteToLocalPlugin,
+    RemoteToMemoryPlugin,
+)
+from repro.norns.plugins.pfs import (
+    LocalToSharedPlugin, MemoryToSharedPlugin, SharedToLocalPlugin,
+)
+
+__all__ = [
+    "PluginRegistry", "TransferContext", "TransferPlugin", "resource_kind",
+    "MemoryToLocalPlugin", "LocalToLocalPlugin",
+    "LocalToRemotePlugin", "RemoteToLocalPlugin",
+    "MemoryToRemotePlugin", "RemoteToMemoryPlugin",
+    "SharedToLocalPlugin", "LocalToSharedPlugin", "MemoryToSharedPlugin",
+    "default_registry",
+]
+
+
+def default_registry() -> PluginRegistry:
+    """The full plugin set a stock urd daemon ships with."""
+    reg = PluginRegistry()
+    reg.register(MemoryToLocalPlugin())
+    reg.register(LocalToLocalPlugin())
+    reg.register(LocalToRemotePlugin())
+    reg.register(RemoteToLocalPlugin())
+    reg.register(MemoryToRemotePlugin())
+    reg.register(RemoteToMemoryPlugin())
+    reg.register(SharedToLocalPlugin())
+    reg.register(LocalToSharedPlugin())
+    reg.register(MemoryToSharedPlugin())
+    return reg

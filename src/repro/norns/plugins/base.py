@@ -1,0 +1,86 @@
+"""Plugin framework: context, interface, registry, kind resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.errors import NornsNoPlugin
+from repro.norns.controller import Controller
+from repro.norns.resources import DataResource
+from repro.norns.task import IOTask
+from repro.sim.core import Simulator
+from repro.sim.flows import CapacityConstraint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.mercury import MercuryEndpoint
+    from repro.norns.urd import UrdDirectory
+
+__all__ = ["TransferContext", "TransferPlugin", "PluginRegistry",
+           "resource_kind"]
+
+
+@dataclass
+class TransferContext:
+    """Everything a plugin may touch while executing a task."""
+
+    sim: Simulator
+    node: str
+    controller: Controller
+    endpoint: Optional["MercuryEndpoint"]      # Mercury attachment
+    directory: Optional["UrdDirectory"]        # name -> remote urd lookup
+    membus: Optional[CapacityConstraint]       # node memory-bus constraint
+
+
+def resource_kind(controller: Controller,
+                  res: Optional[DataResource]) -> Optional[str]:
+    """Map a resource to its plugin kind (resolving dataspaces)."""
+    if res is None:
+        return None
+    if res.is_memory:
+        return "memory"
+    if res.is_remote:
+        return "remote"
+    ds = controller.resolve(res.nsid)
+    return "shared" if ds.is_shared else "local"
+
+
+class TransferPlugin:
+    """Interface: subclasses set ``key`` and implement :meth:`execute`.
+
+    ``execute(ctx, task)`` is a simulation-process generator returning
+    the number of bytes moved.  Domain failures raise the appropriate
+    :class:`~repro.errors.NornsError`; the urd worker translates them to
+    task error codes.
+    """
+
+    #: (src_kind, dst_kind)
+    key: Tuple[str, str] = ("", "")
+    name: str = "plugin"
+
+    def execute(self, ctx: TransferContext, task: IOTask):  # pragma: no cover
+        raise NotImplementedError
+        yield  # make it a generator in subclasses
+
+
+class PluginRegistry:
+    """Lookup table from (src_kind, dst_kind) to plugin instance."""
+
+    def __init__(self) -> None:
+        self._plugins: dict[Tuple[str, str], TransferPlugin] = {}
+
+    def register(self, plugin: TransferPlugin) -> None:
+        if plugin.key in self._plugins:
+            raise NornsNoPlugin(f"plugin for {plugin.key} already registered")
+        self._plugins[plugin.key] = plugin
+
+    def lookup(self, src_kind: Optional[str],
+               dst_kind: Optional[str]) -> TransferPlugin:
+        plugin = self._plugins.get((src_kind or "", dst_kind or ""))
+        if plugin is None:
+            raise NornsNoPlugin(
+                f"no transfer plugin for {src_kind!r} -> {dst_kind!r}")
+        return plugin
+
+    def keys(self) -> list[Tuple[str, str]]:
+        return sorted(self._plugins)

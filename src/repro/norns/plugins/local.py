@@ -1,0 +1,59 @@
+"""Node-local transfer plugins (Table II, local rows).
+
+* *Process memory ⇒ local path* — the paper implements this as
+  ``fallocate()+mmap(); process_vm_readv(in, out)``: the data crosses
+  the memory bus and lands on the local device.
+* *Local path ⇒ local path* — ``sendfile(in_fd, out_fd)``: a streaming
+  copy simultaneously bounded by the source device's read path and the
+  destination device's write path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NoSuchFile, NornsTaskError
+from repro.norns.plugins.base import TransferContext, TransferPlugin
+from repro.norns.task import IOTask, TaskType
+from repro.storage.filesystem import FileContent
+
+__all__ = ["MemoryToLocalPlugin", "LocalToLocalPlugin"]
+
+
+class MemoryToLocalPlugin(TransferPlugin):
+    """``process_vm_readv`` a buffer into a local dataspace file."""
+
+    key = ("memory", "local")
+    name = "mem-to-local"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        dst_ds = ctx.controller.resolve(task.dst.nsid)
+        size = task.src.size
+        task.stats.bytes_total = size
+        extras = [ctx.membus] if ctx.membus is not None else []
+        content = FileContent.synthesize(
+            f"mem:{ctx.node}:pid{task.pid}", size)
+        yield dst_ds.backend.write_file(task.dst.path, size,
+                                        extra_constraints=extras,
+                                        content=content)
+        return size
+
+
+class LocalToLocalPlugin(TransferPlugin):
+    """``sendfile``-style streaming copy between two local dataspaces."""
+
+    key = ("local", "local")
+    name = "local-to-local"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        src_ds = ctx.controller.resolve(task.src.nsid)
+        dst_ds = ctx.controller.resolve(task.dst.nsid)
+        content = src_ds.backend.stat(task.src.path)  # NoSuchFile -> error
+        task.stats.bytes_total = content.size
+        # One fluid flow through both device paths: rate is the min of
+        # the two fair shares, like sendfile between two block devices.
+        yield dst_ds.backend.write_file(
+            task.dst.path, content.size,
+            extra_constraints=[src_ds.backend.read_constraint],
+            content=content)
+        if task.task_type == TaskType.MOVE:
+            src_ds.backend.delete(task.src.path)
+        return content.size

@@ -1,0 +1,91 @@
+"""Staging plugins between shared (PFS/burst-buffer) and local tiers.
+
+These are the pairs Slurm's ``stage_in``/``stage_out`` directives
+exercise: copy input data from the PFS into node-local storage before a
+job starts, and persist output back for long-term storage afterwards
+(Section II's "two well-controlled situations" in which the PFS is
+accessed at all).
+
+A stage-in is a streaming copy simultaneously bounded by the PFS read
+path (front link, OSS link, OSTs) and the local device's write path; a
+stage-out is the mirror image.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NornsTaskError
+from repro.norns.plugins.base import TransferContext, TransferPlugin
+from repro.norns.task import IOTask, TaskType
+from repro.storage.filesystem import FileContent
+
+__all__ = ["SharedToLocalPlugin", "LocalToSharedPlugin",
+           "MemoryToSharedPlugin"]
+
+
+class SharedToLocalPlugin(TransferPlugin):
+    """Stage-in: PFS/burst-buffer file into a node-local dataspace."""
+
+    key = ("shared", "local")
+    name = "stage-in"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        src_ds = ctx.controller.resolve(task.src.nsid)
+        dst_ds = ctx.controller.resolve(task.dst.nsid)
+        content = src_ds.backend.stat(task.src.path)
+        task.stats.bytes_total = content.size
+        # The read streams from the PFS constrained by the local write
+        # path and the node's memory bus (the copy buffers transit RAM
+        # — this is what makes staging visible to memory-bound
+        # applications, Table IV); the local file is then published
+        # with zero extra cost.
+        extras = [dst_ds.backend.write_constraint]
+        if ctx.membus is not None:
+            extras.append(ctx.membus)
+        yield src_ds.backend.read_file(task.src.path,
+                                       extra_constraints=extras)
+        dst_ds.backend.mount.device.allocate(content.size)
+        dst_ds.backend.mount.ns.create(task.dst.path, content)
+        if task.task_type == TaskType.MOVE:
+            src_ds.backend.delete(task.src.path)
+        return content.size
+
+
+class LocalToSharedPlugin(TransferPlugin):
+    """Stage-out: node-local file persisted to the PFS/burst buffer."""
+
+    key = ("local", "shared")
+    name = "stage-out"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        src_ds = ctx.controller.resolve(task.src.nsid)
+        dst_ds = ctx.controller.resolve(task.dst.nsid)
+        content = src_ds.backend.stat(task.src.path)
+        task.stats.bytes_total = content.size
+        extras = [src_ds.backend.read_constraint]
+        if ctx.membus is not None:
+            extras.append(ctx.membus)
+        yield dst_ds.backend.write_file(
+            task.dst.path, content.size,
+            extra_constraints=extras,
+            content=content)
+        if task.task_type == TaskType.MOVE:
+            src_ds.backend.delete(task.src.path)
+        return content.size
+
+
+class MemoryToSharedPlugin(TransferPlugin):
+    """Buffer offload straight to the shared tier (checkpoint to PFS)."""
+
+    key = ("memory", "shared")
+    name = "mem-to-shared"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        dst_ds = ctx.controller.resolve(task.dst.nsid)
+        size = task.src.size
+        task.stats.bytes_total = size
+        extras = [ctx.membus] if ctx.membus is not None else []
+        content = FileContent.synthesize(f"mem:{ctx.node}:pid{task.pid}", size)
+        yield dst_ds.backend.write_file(task.dst.path, size,
+                                        extra_constraints=extras,
+                                        content=content)
+        return size

@@ -1,0 +1,175 @@
+"""Node-to-node transfer plugins (Table II, remote rows).
+
+The paper's remote pairs all follow the same protocol: the initiator
+exchanges small control messages with the target urd's network manager
+(Mercury RPCs), then the *data* moves in one RDMA bulk operation:
+
+* *Local path ⇒ remote path*: ``send_to_target(in_info)`` then the
+  target runs ``RDMA_PULL(in_info, out)``.
+* *Local path ⇐ remote path*: ``in_info = query_target(in)`` then the
+  initiator runs ``RDMA_PULL(in_info, out)``.
+* The memory-buffer variants replace the local device path with the
+  node's memory bus.
+
+Control messages are real wire-encoded frames paying RPC latency and
+target-side service time; the bulk flow is simultaneously bounded by the
+source medium's read path, the fabric route, the per-connection protocol
+cap and the destination medium's write path.  Peer-side *constraint
+objects* are resolved through the urd directory — the simulation
+stand-in for RDMA memory-region registration/exchange.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NornsTaskError
+from repro.norns.plugins.base import TransferContext, TransferPlugin
+from repro.norns.task import IOTask, TaskType
+from repro.storage.filesystem import FileContent
+from repro.wire import decode_frame, encode_frame
+from repro.wire import norns_proto as proto
+
+__all__ = [
+    "LocalToRemotePlugin", "RemoteToLocalPlugin",
+    "MemoryToRemotePlugin", "RemoteToMemoryPlugin",
+]
+
+
+def _require_network(ctx: TransferContext) -> None:
+    if ctx.endpoint is None or ctx.directory is None:
+        raise NornsTaskError("this urd has no network manager configured")
+
+
+def _remote_backend(ctx: TransferContext, host: str, nsid: str):
+    """Resolve the peer urd's dataspace backend via the directory."""
+    peer = ctx.directory.lookup(host)
+    return peer.controller.resolve(nsid).backend
+
+
+def _rpc(ctx: TransferContext, host: str, rpc: str,
+         request: proto.RemoteFileRequest):
+    """Issue one control RPC; returns the decoded response (generator)."""
+    raw = yield ctx.endpoint.call(
+        host, rpc, encode_frame(proto.NORNS_PROTOCOL, request))
+    resp, _ = decode_frame(proto.NORNS_PROTOCOL, raw)
+    if resp.error_code != proto.ERR_SUCCESS:
+        raise NornsTaskError(f"{rpc} at {host} failed: {resp.detail}")
+    return resp
+
+
+class _RemotePushMixin:
+    """Shared push protocol: prepare RPC -> bulk -> commit RPC."""
+
+    def _push(self, ctx: TransferContext, task: IOTask,
+              content: FileContent, src_constraints):
+        host = task.dst.host
+        req = proto.RemoteFileRequest(
+            nsid=task.dst.nsid, path=task.dst.path, size=content.size,
+            fingerprint=content.fingerprint, pid=task.pid)
+        # 1. prepare: the target validates its dataspace & reserves space.
+        yield ctx.sim.process(_rpc(ctx, host, "norns.push.prepare", req))
+        # 2. bulk: the target pulls from us (paper: RDMA_PULL at target).
+        dst_backend = _remote_backend(ctx, host, task.dst.nsid)
+        extras = list(src_constraints)
+        wc = getattr(dst_backend, "write_constraint", None)
+        if wc is not None:
+            extras.append(wc)
+        yield ctx.endpoint.bulk_push(host, content.size,
+                                     extra_constraints=extras)
+        # 3. commit: the target publishes the file in its namespace.
+        yield ctx.sim.process(_rpc(ctx, host, "norns.push.commit", req))
+        return content.size
+
+
+class LocalToRemotePlugin(_RemotePushMixin, TransferPlugin):
+    """Local dataspace file pushed to a dataspace on another node."""
+
+    key = ("local", "remote")
+    name = "local-to-remote"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        _require_network(ctx)
+        src_ds = ctx.controller.resolve(task.src.nsid)
+        content = src_ds.backend.stat(task.src.path)
+        task.stats.bytes_total = content.size
+        moved = yield ctx.sim.process(self._push(
+            ctx, task, content, [src_ds.backend.read_constraint]))
+        if task.task_type == TaskType.MOVE:
+            src_ds.backend.delete(task.src.path)
+        return moved
+
+
+class MemoryToRemotePlugin(_RemotePushMixin, TransferPlugin):
+    """Memory buffer pushed to a remote dataspace (Table II row 2)."""
+
+    key = ("memory", "remote")
+    name = "mem-to-remote"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        _require_network(ctx)
+        size = task.src.size
+        task.stats.bytes_total = size
+        content = FileContent.synthesize(f"mem:{ctx.node}:pid{task.pid}", size)
+        extras = [ctx.membus] if ctx.membus is not None else []
+        moved = yield ctx.sim.process(self._push(ctx, task, content, extras))
+        return moved
+
+
+class RemoteToLocalPlugin(TransferPlugin):
+    """Remote dataspace file pulled into a local dataspace."""
+
+    key = ("remote", "local")
+    name = "remote-to-local"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        _require_network(ctx)
+        host = task.src.host
+        query = proto.RemoteFileRequest(nsid=task.src.nsid,
+                                        path=task.src.path, pid=task.pid)
+        # 1. query_target(in): size + fingerprint over the wire.
+        resp = yield ctx.sim.process(_rpc(ctx, host, "norns.pull.query", query))
+        content = FileContent(size=resp.size, fingerprint=resp.fingerprint)
+        task.stats.bytes_total = content.size
+        # 2. RDMA_PULL(in_info, out): bounded by the remote read path,
+        #    the connection cap and our local write path.
+        src_backend = _remote_backend(ctx, host, task.src.nsid)
+        dst_ds = ctx.controller.resolve(task.dst.nsid)
+        extras = [dst_ds.backend.write_constraint]
+        rc = getattr(src_backend, "read_constraint", None)
+        if rc is not None:
+            extras.append(rc)
+        yield ctx.endpoint.bulk_pull(host, content.size,
+                                     extra_constraints=extras)
+        # Publish locally (bytes already landed through the timed flow).
+        dst_ds.backend.mount.device.allocate(content.size)
+        dst_ds.backend.mount.ns.create(task.dst.path, content)
+        if task.task_type == TaskType.MOVE:
+            yield ctx.sim.process(_rpc(ctx, host, "norns.pull.release", query))
+        return content.size
+
+
+class RemoteToMemoryPlugin(TransferPlugin):
+    """Remote dataspace file pulled into a local memory buffer."""
+
+    key = ("remote", "memory")
+    name = "remote-to-mem"
+
+    def execute(self, ctx: TransferContext, task: IOTask):
+        _require_network(ctx)
+        host = task.src.host
+        query = proto.RemoteFileRequest(nsid=task.src.nsid,
+                                        path=task.src.path, pid=task.pid)
+        resp = yield ctx.sim.process(_rpc(ctx, host, "norns.pull.query", query))
+        size = resp.size
+        if task.dst.size and task.dst.size < size:
+            raise NornsTaskError(
+                f"buffer ({task.dst.size}B) smaller than file ({size}B)")
+        task.stats.bytes_total = size
+        src_backend = _remote_backend(ctx, host, task.src.nsid)
+        extras = []
+        rc = getattr(src_backend, "read_constraint", None)
+        if rc is not None:
+            extras.append(rc)
+        if ctx.membus is not None:
+            extras.append(ctx.membus)
+        yield ctx.endpoint.bulk_pull(host, size, extra_constraints=extras)
+        return size

@@ -1,0 +1,91 @@
+"""Data resource descriptors (``norns_resource_init`` analogues).
+
+A :class:`DataResource` names one endpoint of an I/O task: a process
+memory region, a path inside a local dataspace, or a path inside a
+dataspace on another node.  The constructors mirror the paper's C macros
+(``NORNS_MEMORY_REGION``, ``NORNS_POSIX_PATH``, remote variants) and
+convert to/from the wire :class:`~repro.wire.norns_proto.ResourceDesc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NornsError
+from repro.storage.filesystem import normalize
+from repro.wire import norns_proto as proto
+
+__all__ = ["DataResource", "memory_region", "posix_path", "remote_path"]
+
+
+@dataclass(frozen=True)
+class DataResource:
+    """One endpoint of an I/O task."""
+
+    kind: int                     # proto.KIND_*
+    nsid: str = ""                # dataspace id ("nvme0://", "lustre://")
+    path: str = ""                # path within the dataspace
+    host: str = ""                # remote node (KIND_REMOTE_PATH only)
+    size: int = 0                 # memory-region size / size hint
+
+    def __post_init__(self) -> None:
+        if self.kind not in (proto.KIND_MEMORY, proto.KIND_POSIX_PATH,
+                             proto.KIND_REMOTE_PATH):
+            raise NornsError(f"invalid resource kind {self.kind}")
+        if self.kind == proto.KIND_MEMORY:
+            if self.size <= 0:
+                raise NornsError("memory region needs a positive size")
+        else:
+            if not self.nsid:
+                raise NornsError("path resource needs a dataspace id")
+            if not self.path:
+                raise NornsError("path resource needs a path")
+        if self.kind == proto.KIND_REMOTE_PATH and not self.host:
+            raise NornsError("remote path resource needs a host")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind == proto.KIND_MEMORY
+
+    @property
+    def is_remote(self) -> bool:
+        return self.kind == proto.KIND_REMOTE_PATH
+
+    # -- wire conversion ----------------------------------------------------
+    def to_wire(self) -> proto.ResourceDesc:
+        return proto.ResourceDesc(kind=self.kind, nsid=self.nsid,
+                                  path=self.path, host=self.host,
+                                  size=self.size)
+
+    @staticmethod
+    def from_wire(desc: proto.ResourceDesc) -> "DataResource":
+        return DataResource(kind=desc.kind, nsid=desc.nsid, path=desc.path,
+                            host=desc.host, size=desc.size)
+
+    def __str__(self) -> str:
+        if self.is_memory:
+            return f"mem[{self.size}B]"
+        loc = f"{self.nsid}{self.path.lstrip('/')}"
+        return f"{self.host}:{loc}" if self.host else loc
+
+
+def memory_region(size: int) -> DataResource:
+    """``NORNS_MEMORY_REGION(buffer, size)`` — a process memory buffer."""
+    return DataResource(kind=proto.KIND_MEMORY, size=int(size))
+
+
+def posix_path(nsid: str, path: str) -> DataResource:
+    """``NORNS_POSIX_PATH(nsid, path)`` — a file in a local dataspace."""
+    if not path:
+        raise NornsError("path resource needs a path")
+    return DataResource(kind=proto.KIND_POSIX_PATH, nsid=nsid,
+                        path=normalize(path))
+
+
+def remote_path(host: str, nsid: str, path: str) -> DataResource:
+    """A file in a dataspace hosted by another compute node."""
+    if not path:
+        raise NornsError("path resource needs a path")
+    return DataResource(kind=proto.KIND_REMOTE_PATH, nsid=nsid,
+                        path=normalize(path), host=host)

@@ -1,0 +1,130 @@
+"""I/O task descriptors and lifecycle.
+
+An :class:`IOTask` is the unit the urd daemon queues, schedules and
+executes: copy/move/remove over a pair of :class:`DataResource`
+endpoints.  Its :class:`TaskStats` mirror ``norns_stat_t`` (status,
+error code, bytes total/moved) plus the E.T.A. bookkeeping Slurm uses
+for scheduling decisions (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NornsError
+from repro.norns.resources import DataResource
+from repro.sim.core import Event, Simulator
+from repro.wire import norns_proto as proto
+
+__all__ = ["TaskType", "TaskStatus", "TaskStats", "IOTask"]
+
+
+class TaskType(enum.IntEnum):
+    """``norns_iotask_init`` task types."""
+
+    COPY = proto.IOTASK_COPY
+    MOVE = proto.IOTASK_MOVE
+    REMOVE = proto.IOTASK_REMOVE
+
+
+class TaskStatus(enum.Enum):
+    """Task lifecycle states reported through the APIs."""
+
+    PENDING = "pending"       # created, not yet queued (client side)
+    QUEUED = "queued"         # accepted by urd, waiting in the task queue
+    RUNNING = "running"       # a worker is executing the transfer
+    FINISHED = "finished"     # completed successfully
+    ERROR = "error"           # failed (stats.error_code says why)
+
+
+@dataclass
+class TaskStats:
+    """``norns_stat_t``: progress/outcome snapshot of a task."""
+
+    status: TaskStatus = TaskStatus.PENDING
+    error_code: int = proto.ERR_SUCCESS
+    bytes_total: int = 0
+    bytes_moved: int = 0
+    detail: str = ""
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in (TaskStatus.FINISHED, TaskStatus.ERROR)
+
+
+@dataclass
+class IOTask:
+    """One queued/running I/O task inside a urd daemon."""
+
+    task_id: int
+    task_type: TaskType
+    src: Optional[DataResource]
+    dst: Optional[DataResource]
+    pid: int = 0                 # submitting process (0 = scheduler/admin)
+    job_id: int = 0              # owning batch job (0 = administrative)
+    priority: int = 0            # user-requested priority (lower = sooner)
+    admin: bool = False          # submitted through the control API
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    stats: TaskStats = field(default_factory=TaskStats)
+    #: Fires when the task reaches a terminal state (set by the urd).
+    done: Optional[Event] = None
+
+    def __post_init__(self) -> None:
+        if self.task_type in (TaskType.COPY, TaskType.MOVE):
+            if self.src is None or self.dst is None:
+                raise NornsError(f"{self.task_type.name} needs src and dst")
+        elif self.task_type == TaskType.REMOVE:
+            if self.src is None:
+                raise NornsError("REMOVE needs a target resource")
+
+    # -- lifecycle helpers (urd-internal) ----------------------------------
+    def mark_queued(self, now: float) -> None:
+        self.stats.status = TaskStatus.QUEUED
+        self.submitted_at = now
+
+    def mark_running(self, now: float) -> None:
+        self.stats.status = TaskStatus.RUNNING
+        self.started_at = now
+
+    def mark_finished(self, now: float, bytes_moved: int) -> None:
+        self.stats.status = TaskStatus.FINISHED
+        self.stats.bytes_moved = bytes_moved
+        self.finished_at = now
+        if self.done is not None and not self.done.triggered:
+            self.done.succeed(self)
+
+    def mark_error(self, now: float, code: int, detail: str = "") -> None:
+        self.stats.status = TaskStatus.ERROR
+        self.stats.error_code = code
+        self.stats.detail = detail
+        self.finished_at = now
+        if self.done is not None and not self.done.triggered:
+            # Completion events always *succeed* with the task; callers
+            # inspect stats (mirrors norns_wait + norns_error).
+            self.done.succeed(self)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def size_hint(self) -> int:
+        """Best-effort byte count, for SJF arbitration and E.T.A."""
+        return max(self.stats.bytes_total,
+                   self.src.size if self.src else 0,
+                   self.dst.size if self.dst else 0)
+
+    def __str__(self) -> str:
+        return (f"task#{self.task_id} {self.task_type.name} "
+                f"{self.src} -> {self.dst} [{self.stats.status.value}]")

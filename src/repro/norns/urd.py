@@ -1,0 +1,596 @@
+"""The ``urd`` resource-control daemon.
+
+One urd runs per compute node (Figure 3).  Internal components, kept
+1:1 with the paper:
+
+* two AF_UNIX listeners — a *control* socket (``norns`` group) and a
+  *user* socket (``norns-user`` group) — each feeding a shared **accept
+  thread** that deserializes requests, creates task descriptors and
+  enqueues them;
+* a **task queue** ordered by a pluggable **task scheduler** (FCFS by
+  default);
+* a pool of **worker threads** that validate tasks against the **job &
+  dataspace controller** and execute them through **transfer plugins**;
+* a **completion list** clients query/wait on;
+* a **network manager** (Mercury endpoint) serving node-to-node RPCs
+  (`norns.submit`, push/pull control messages) and RDMA bulk transfers;
+* an **E.T.A. tracker** whose estimates are returned on submission so
+  Slurm can time stage-ins and node releases.
+
+All request framing is real serialized bytes through
+:mod:`repro.wire`; all waiting is virtual time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import (
+    NornsAccessDenied, NornsBusyDataspace, NornsDataspaceExists,
+    NornsDataspaceNotFound, NornsError, NornsJobNotFound, NornsNoPlugin,
+    NornsNotRegistered, NornsTaskError, NoSpace, NoSuchFile, StorageError,
+)
+from repro.net.mercury import MercuryEndpoint, MercuryNetwork
+from repro.net.sockets import Credentials, LocalSocketHub
+from repro.norns.controller import Controller
+from repro.norns.dataspace import Dataspace, LocalBackend, SharedBackend
+from repro.norns.eta import TransferRateTracker
+from repro.norns.plugins import default_registry
+from repro.norns.plugins.base import PluginRegistry, TransferContext, resource_kind
+from repro.norns.queue import ArbitrationPolicy, FCFSPolicy, TaskQueue
+from repro.norns.resources import DataResource
+from repro.norns.task import IOTask, TaskStatus, TaskType
+from repro.sim.core import Event, Simulator
+from repro.sim.flows import CapacityConstraint
+from repro.sim.primitives import any_of
+from repro.sim.resources import Resource
+from repro.storage.filesystem import FileContent
+from repro.wire import decode_frame, encode_frame
+from repro.wire import norns_proto as proto
+
+__all__ = ["UrdConfig", "UrdDaemon", "UrdDirectory", "GID_NORNS",
+           "GID_NORNS_USER", "error_code_for"]
+
+#: Conventional group ids for the two permission domains (Section IV-B).
+GID_NORNS = 500
+GID_NORNS_USER = 501
+
+#: Map NornsError subclasses to wire error codes.
+_ERROR_CODES = (
+    (NornsDataspaceNotFound, proto.ERR_NOSUCHNSID),
+    (NornsDataspaceExists, proto.ERR_NSIDEXISTS),
+    (NornsNotRegistered, proto.ERR_NOTREGISTERED),
+    (NornsAccessDenied, proto.ERR_ACCESSDENIED),
+    (NornsNoPlugin, proto.ERR_NOPLUGIN),
+    (NornsBusyDataspace, proto.ERR_BUSY),
+    (NornsJobNotFound, proto.ERR_NOSUCHJOB),
+    (NornsTaskError, proto.ERR_TASKERROR),
+    (NoSuchFile, proto.ERR_TASKERROR),
+    (NoSpace, proto.ERR_TASKERROR),
+    (NornsError, proto.ERR_BADREQUEST),
+)
+
+
+def error_code_for(exc: BaseException) -> int:
+    for cls, code in _ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return proto.ERR_BADREQUEST
+
+
+@dataclass
+class UrdConfig:
+    """Tunables of one urd instance."""
+
+    node: str
+    control_socket: str = "/var/run/norns/urd.ctl.sock"
+    user_socket: str = "/var/run/norns/urd.usr.sock"
+    workers: int = 8
+    #: CPU time the accept thread spends per request (deserialize +
+    #: descriptor + enqueue + respond).  Calibrated so one daemon peaks
+    #: near the paper's ~700k local requests/s (Fig. 4).
+    request_service_time: float = 1.4e-6
+    #: Metadata-only task cost (REMOVE).
+    metadata_op_time: float = 5.0e-6
+    #: Default route rate assumed before any observation (bytes/s).
+    eta_default_rate: float = 1.0e9
+
+
+class UrdDirectory:
+    """Cluster-wide name -> urd registry (the NA address book)."""
+
+    def __init__(self) -> None:
+        self._daemons: Dict[str, "UrdDaemon"] = {}
+
+    def register(self, daemon: "UrdDaemon") -> None:
+        if daemon.node in self._daemons:
+            raise NornsError(f"urd already registered for {daemon.node!r}")
+        self._daemons[daemon.node] = daemon
+
+    def lookup(self, node: str) -> "UrdDaemon":
+        d = self._daemons.get(node)
+        if d is None:
+            raise NornsError(f"no urd registered for node {node!r}")
+        return d
+
+    def nodes(self) -> list[str]:
+        return sorted(self._daemons)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._daemons
+
+
+class UrdDaemon:
+    """One per-node NORNS daemon instance."""
+
+    def __init__(self, sim: Simulator, config: UrdConfig,
+                 hub: LocalSocketHub,
+                 network: Optional[MercuryNetwork] = None,
+                 directory: Optional[UrdDirectory] = None,
+                 policy: Optional[ArbitrationPolicy] = None,
+                 plugins: Optional[PluginRegistry] = None,
+                 membus: Optional[CapacityConstraint] = None) -> None:
+        self.sim = sim
+        self.config = config
+        self.node = config.node
+        self.hub = hub
+        self.controller = Controller()
+        self.queue = TaskQueue(sim, policy or FCFSPolicy(),
+                               name=f"urd:{self.node}:taskq")
+        self.plugins = plugins or default_registry()
+        self.tracker = TransferRateTracker(default_rate=config.eta_default_rate)
+        self.membus = membus
+        self.directory = directory
+        self.endpoint: Optional[MercuryEndpoint] = None
+        self.accepting = True
+        self._tasks: Dict[int, IOTask] = {}
+        self._task_ids = itertools.count(1)
+        self._accept_thread = Resource(sim, 1, name=f"urd:{self.node}:accept")
+        self.requests_served = 0
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+
+        # Sockets: control for the scheduler, user for applications.
+        self._control_listener = hub.listen(
+            config.control_socket, Credentials(uid=0, gid=GID_NORNS),
+            mode=0o660)
+        self._user_listener = hub.listen(
+            config.user_socket, Credentials(uid=0, gid=GID_NORNS_USER),
+            mode=0o660)
+        sim.process(self._accept_loop(self._control_listener, True),
+                    name=f"urd:{self.node}:accept:ctl")
+        sim.process(self._accept_loop(self._user_listener, False),
+                    name=f"urd:{self.node}:accept:usr")
+        for i in range(config.workers):
+            sim.process(self._worker(), name=f"urd:{self.node}:worker{i}")
+
+        if network is not None:
+            self.endpoint = network.endpoint(self.node)
+            self._register_remote_handlers()
+        if directory is not None:
+            directory.register(self)
+
+    # ------------------------------------------------------------------
+    # Accept path
+    # ------------------------------------------------------------------
+    def _accept_loop(self, listener, is_control: bool):
+        while True:
+            chan = yield listener.accept()
+            self.sim.process(self._serve_connection(chan, is_control),
+                             name=f"urd:{self.node}:conn")
+
+    def _serve_connection(self, chan, is_control: bool):
+        while True:
+            frame = yield chan.recv()
+            if frame is None:
+                break  # client closed
+            # The accept thread serializes request processing — this is
+            # the Fig. 4 bottleneck.
+            yield self._accept_thread.request()
+            try:
+                yield self.sim.timeout(self.config.request_service_time)
+                try:
+                    msg, _ = decode_frame(proto.NORNS_PROTOCOL, frame)
+                except Exception as exc:
+                    response: object = proto.GenericResponse(
+                        error_code=proto.ERR_BADREQUEST, detail=str(exc))
+                    msg = None
+            finally:
+                self._accept_thread.release()
+            if msg is not None:
+                response = self._dispatch(msg, is_control)
+            self.requests_served += 1
+            if hasattr(response, "send"):  # parked handler (wait)
+                self.sim.process(
+                    self._respond_later(chan, response),
+                    name=f"urd:{self.node}:parked")
+            else:
+                yield chan.send(encode_frame(proto.NORNS_PROTOCOL, response))
+
+    def _respond_later(self, chan, handler_gen):
+        response = yield self.sim.process(handler_gen)
+        yield chan.send(encode_frame(proto.NORNS_PROTOCOL, response))
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, msg, is_control: bool):
+        try:
+            if isinstance(msg, proto.CommandRequest):
+                return self._handle_command(msg, is_control)
+            if isinstance(msg, proto.StatusRequest):
+                return self._status_response()
+            if isinstance(msg, proto.RegisterDataspaceRequest):
+                self._require_control(is_control)
+                return self._handle_register_dataspace(msg.dataspace,
+                                                       update=False)
+            if isinstance(msg, proto.UpdateDataspaceRequest):
+                self._require_control(is_control)
+                return self._handle_register_dataspace(msg.dataspace,
+                                                       update=True)
+            if isinstance(msg, proto.UnregisterDataspaceRequest):
+                self._require_control(is_control)
+                self.controller.unregister_dataspace(msg.nsid)
+                return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+            if isinstance(msg, proto.RegisterJobRequest):
+                self._require_control(is_control)
+                limits = msg.limits
+                self.controller.register_job(
+                    msg.job_id, msg.hosts,
+                    limits.nsids if limits else (),
+                    limits.quota_bytes if limits else 0)
+                return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+            if isinstance(msg, proto.UpdateJobRequest):
+                self._require_control(is_control)
+                limits = msg.limits
+                self.controller.update_job(
+                    msg.job_id, hosts=msg.hosts or None,
+                    nsids=limits.nsids if limits else None)
+                return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+            if isinstance(msg, proto.UnregisterJobRequest):
+                self._require_control(is_control)
+                self.controller.unregister_job(msg.job_id)
+                return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+            if isinstance(msg, proto.AddProcessRequest):
+                self._require_control(is_control)
+                self.controller.add_process(msg.job_id, msg.pid, msg.uid,
+                                            msg.gid)
+                return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+            if isinstance(msg, proto.RemoveProcessRequest):
+                self._require_control(is_control)
+                self.controller.remove_process(msg.job_id, msg.pid)
+                return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+            if isinstance(msg, proto.IotaskSubmitRequest):
+                return self._handle_submit(msg, is_control)
+            if isinstance(msg, proto.IotaskStatusRequest):
+                return self._handle_status(msg)
+            if isinstance(msg, proto.IotaskWaitRequest):
+                return self._handle_wait(msg)  # generator (parked)
+            if isinstance(msg, proto.GetDataspaceInfoRequest):
+                return self._handle_dataspace_info(msg)
+            return proto.GenericResponse(
+                error_code=proto.ERR_BADREQUEST,
+                detail=f"unsupported message {type(msg).__name__}")
+        except NornsError as exc:
+            return proto.GenericResponse(error_code=error_code_for(exc),
+                                         detail=str(exc))
+
+    @staticmethod
+    def _require_control(is_control: bool) -> None:
+        if not is_control:
+            raise NornsAccessDenied(
+                "administrative request on the user socket")
+
+    def _handle_command(self, msg: proto.CommandRequest, is_control: bool):
+        cmd = msg.command
+        if cmd == "ping":
+            return proto.GenericResponse(error_code=proto.ERR_SUCCESS,
+                                         detail="pong")
+        self._require_control(is_control)
+        if cmd == "report-rates":
+            # Observed per-route bandwidth feedback for the scheduler.
+            detail = ";".join(
+                f"{src}->{dst}={rate:.6g}"
+                for (src, dst), rate in self.tracker.routes().items())
+            return proto.GenericResponse(error_code=proto.ERR_SUCCESS,
+                                         detail=detail)
+        if cmd == "pause-accept":
+            self.accepting = False
+        elif cmd == "resume-accept":
+            self.accepting = True
+        elif cmd == "shutdown":
+            self.accepting = False
+            self._control_listener.close()
+            self._user_listener.close()
+        else:
+            return proto.GenericResponse(error_code=proto.ERR_BADREQUEST,
+                                         detail=f"unknown command {cmd!r}")
+        return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+
+    def _status_response(self) -> proto.DaemonStatusResponse:
+        running = sum(1 for t in self._tasks.values()
+                      if t.stats.status == TaskStatus.RUNNING)
+        return proto.DaemonStatusResponse(
+            error_code=proto.ERR_SUCCESS,
+            running_tasks=running,
+            pending_tasks=len(self.queue),
+            completed_tasks=self.tasks_completed + self.tasks_failed,
+            registered_jobs=len(self.controller.jobs()),
+            registered_dataspaces=len(self.controller.dataspaces()),
+            accepting=self.accepting)
+
+    # -- dataspace registration -------------------------------------------
+    #: node-local mount table: mount path -> backend, provided by slurmd
+    #: (or the cluster builder) before dataspaces are registered.
+    def set_mount_table(self, table: Dict[str, object]) -> None:
+        self._mount_table = dict(table)
+
+    def _handle_register_dataspace(self, desc: proto.DataspaceDesc,
+                                   update: bool):
+        table = getattr(self, "_mount_table", {})
+        backend = table.get(desc.mount)
+        if backend is None:
+            raise NornsDataspaceNotFound(
+                f"no storage mounted at {desc.mount!r} on {self.node}")
+        ds = Dataspace(desc.nsid, backend, backend_kind=desc.backend_kind,
+                       quota_bytes=desc.quota_bytes, track=desc.track)
+        if update:
+            self.controller.update_dataspace(ds)
+        else:
+            self.controller.register_dataspace(ds)
+        return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
+
+    # -- task submission ----------------------------------------------------
+    def _handle_submit(self, msg: proto.IotaskSubmitRequest,
+                       is_control: bool):
+        if not self.accepting:
+            return proto.GenericResponse(error_code=proto.ERR_BUSY,
+                                         detail="daemon paused")
+        src = DataResource.from_wire(msg.input) if msg.input else None
+        dst = DataResource.from_wire(msg.output) if msg.output else None
+        task = IOTask(
+            task_id=next(self._task_ids),
+            task_type=TaskType(msg.task_type),
+            src=src, dst=dst, pid=msg.pid,
+            priority=msg.priority,
+            # admin only honoured on the control socket.
+            admin=bool(msg.admin and is_control),
+        )
+        task.done = self.sim.event(name=f"task#{task.task_id}:done")
+        try:
+            self.controller.validate_task(task)
+        except NornsError as exc:
+            return proto.GenericResponse(error_code=error_code_for(exc),
+                                         detail=str(exc))
+        # Fill the size hint for ETA/SJF from the source when possible.
+        task.stats.bytes_total = self._size_hint(task)
+        route = self._route_of(task)
+        eta = self.tracker.eta(route, task.stats.bytes_total,
+                               self.queue.pending_bytes())
+        task.mark_queued(self.sim.now)
+        self._tasks[task.task_id] = task
+        self.queue.push(task)
+        return proto.SubmitResponse(error_code=proto.ERR_SUCCESS,
+                                    task_id=task.task_id, eta_seconds=eta)
+
+    def _size_hint(self, task: IOTask) -> int:
+        if task.src is not None:
+            if task.src.is_memory:
+                return task.src.size
+            if not task.src.is_remote:
+                try:
+                    ds = self.controller.resolve(task.src.nsid)
+                    if ds.backend.exists(task.src.path):
+                        return ds.backend.stat(task.src.path).size
+                except NornsError:
+                    pass
+            elif task.src.size:
+                return task.src.size
+        return task.src.size if task.src else 0
+
+    def _route_of(self, task: IOTask):
+        try:
+            src_kind = resource_kind(self.controller, task.src)
+            dst_kind = resource_kind(self.controller, task.dst)
+        except NornsError:
+            src_kind = dst_kind = None
+        return (src_kind or "-", dst_kind or "-")
+
+    # -- task status / wait -------------------------------------------------
+    def _task_status_response(self, task: IOTask) -> proto.TaskStatusResponse:
+        elapsed = 0.0
+        if task.started_at is not None:
+            end = task.finished_at if task.finished_at is not None else self.sim.now
+            elapsed = end - task.started_at
+        eta = 0.0
+        if not task.stats.is_terminal:
+            route = self._route_of(task)
+            eta = self.tracker.eta(route, task.stats.bytes_total)
+        return proto.TaskStatusResponse(
+            error_code=proto.ERR_SUCCESS, task_id=task.task_id,
+            status=task.stats.status.value,
+            task_error=task.stats.error_code,
+            bytes_total=task.stats.bytes_total,
+            bytes_moved=task.stats.bytes_moved,
+            eta_seconds=eta, elapsed_seconds=elapsed)
+
+    def _handle_status(self, msg: proto.IotaskStatusRequest):
+        task = self._tasks.get(msg.task_id)
+        if task is None:
+            return proto.GenericResponse(error_code=proto.ERR_NOSUCHTASK,
+                                         detail=f"task {msg.task_id}")
+        return self._task_status_response(task)
+
+    def _handle_wait(self, msg: proto.IotaskWaitRequest):
+        """Parked handler: generator completing when the task does."""
+        task = self._tasks.get(msg.task_id)
+        if task is None:
+            def missing():
+                return proto.GenericResponse(
+                    error_code=proto.ERR_NOSUCHTASK,
+                    detail=f"task {msg.task_id}")
+                yield  # pragma: no cover
+            return missing()
+
+        timeout = msg.timeout_seconds
+
+        def park():
+            if not task.stats.is_terminal:
+                if timeout and timeout > 0:
+                    deadline = self.sim.timeout(timeout)
+                    fired = yield any_of(self.sim, [task.done, deadline])
+                    if task.done not in fired:
+                        return proto.GenericResponse(
+                            error_code=proto.ERR_TIMEOUT,
+                            detail=f"task {task.task_id} still "
+                                   f"{task.stats.status.value}")
+                else:
+                    yield task.done
+            return self._task_status_response(task)
+
+        return park()
+
+    def _handle_dataspace_info(self, msg: proto.GetDataspaceInfoRequest):
+        spaces = self.controller.visible_dataspaces(msg.pid)
+        return proto.DataspaceInfoResponse(
+            error_code=proto.ERR_SUCCESS,
+            dataspaces=[proto.DataspaceDesc(
+                nsid=ds.nsid, backend_kind=ds.backend_kind,
+                quota_bytes=ds.quota_bytes, track=ds.track)
+                for ds in spaces])
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker(self):
+        ctx = TransferContext(sim=self.sim, node=self.node,
+                              controller=self.controller,
+                              endpoint=self.endpoint,
+                              directory=self.directory,
+                              membus=self.membus)
+        while True:
+            task = yield self.queue.pop()
+            task.mark_running(self.sim.now)
+            self.controller.task_started(task)
+            bytes_moved = 0
+            try:
+                if task.task_type == TaskType.REMOVE:
+                    yield self.sim.timeout(self.config.metadata_op_time)
+                    ds = self.controller.resolve(task.src.nsid)
+                    ds.backend.delete(task.src.path)
+                else:
+                    src_kind = resource_kind(self.controller, task.src)
+                    dst_kind = resource_kind(self.controller, task.dst)
+                    plugin = self.plugins.lookup(src_kind, dst_kind)
+                    ctx.endpoint = self.endpoint  # may be set after init
+                    bytes_moved = yield self.sim.process(
+                        plugin.execute(ctx, task),
+                        name=f"urd:{self.node}:{plugin.name}")
+            except (NornsError, StorageError) as exc:
+                self.controller.task_ended(task, 0)
+                task.mark_error(self.sim.now, error_code_for(exc), str(exc))
+                self.tasks_failed += 1
+                continue
+            self.controller.task_ended(task, bytes_moved)
+            task.mark_finished(self.sim.now, bytes_moved)
+            self.tasks_completed += 1
+            if task.elapsed and bytes_moved:
+                self.tracker.observe(self._route_of(task), bytes_moved,
+                                     task.elapsed)
+
+    # ------------------------------------------------------------------
+    # Remote handlers (the network manager's RPC surface)
+    # ------------------------------------------------------------------
+    def _register_remote_handlers(self) -> None:
+        ep = self.endpoint
+        ep.register("norns.submit", self._rpc_submit)
+        ep.register("norns.pull.query", self._rpc_pull_query)
+        ep.register("norns.pull.release", self._rpc_pull_release)
+        ep.register("norns.push.prepare", self._rpc_push_prepare)
+        ep.register("norns.push.commit", self._rpc_push_commit)
+
+    def _rpc_submit(self, payload: bytes, origin: str):
+        """Remote task submission (Fig. 5's request path)."""
+        def handler():
+            # The request still crosses the accept thread like local ones.
+            yield self._accept_thread.request()
+            try:
+                yield self.sim.timeout(self.config.request_service_time)
+            finally:
+                self._accept_thread.release()
+            msg, _ = decode_frame(proto.NORNS_PROTOCOL, payload)
+            self.requests_served += 1
+            # Remote peers are other urds/slurmds: control-plane trust.
+            response = self._dispatch(msg, is_control=True)
+            if hasattr(response, "send"):
+                response = yield self.sim.process(response)
+            return encode_frame(proto.NORNS_PROTOCOL, response)
+
+        return handler()
+
+    def _decode_remote_file(self, payload: bytes) -> proto.RemoteFileRequest:
+        msg, _ = decode_frame(proto.NORNS_PROTOCOL, payload)
+        if not isinstance(msg, proto.RemoteFileRequest):
+            raise NornsError(f"unexpected message {type(msg).__name__}")
+        return msg
+
+    def _remote_file_error(self, exc: Exception) -> bytes:
+        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+            error_code=error_code_for(exc), detail=str(exc)))
+
+    def _rpc_pull_query(self, payload: bytes, origin: str) -> bytes:
+        try:
+            msg = self._decode_remote_file(payload)
+            ds = self.controller.resolve(msg.nsid)
+            content = ds.backend.stat(msg.path)
+        except (NornsError, StorageError) as exc:
+            return self._remote_file_error(exc)
+        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+            error_code=proto.ERR_SUCCESS, size=content.size,
+            fingerprint=content.fingerprint))
+
+    def _rpc_pull_release(self, payload: bytes, origin: str) -> bytes:
+        try:
+            msg = self._decode_remote_file(payload)
+            ds = self.controller.resolve(msg.nsid)
+            ds.backend.delete(msg.path)
+        except (NornsError, StorageError) as exc:
+            return self._remote_file_error(exc)
+        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+            error_code=proto.ERR_SUCCESS))
+
+    def _rpc_push_prepare(self, payload: bytes, origin: str) -> bytes:
+        try:
+            msg = self._decode_remote_file(payload)
+            ds = self.controller.resolve(msg.nsid)
+            backend = ds.backend
+            if not isinstance(backend, LocalBackend):
+                raise NornsTaskError(
+                    f"{msg.nsid} is not a node-local dataspace")
+            backend.mount.device.allocate(msg.size)
+        except (NornsError, StorageError) as exc:
+            return self._remote_file_error(exc)
+        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+            error_code=proto.ERR_SUCCESS))
+
+    def _rpc_push_commit(self, payload: bytes, origin: str) -> bytes:
+        try:
+            msg = self._decode_remote_file(payload)
+            ds = self.controller.resolve(msg.nsid)
+            content = FileContent(size=msg.size, fingerprint=msg.fingerprint)
+            ds.backend.mount.ns.create(msg.path, content)
+        except (NornsError, StorageError) as exc:
+            return self._remote_file_error(exc)
+        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+            error_code=proto.ERR_SUCCESS))
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by Slurm and tests)
+    # ------------------------------------------------------------------
+    def task(self, task_id: int) -> Optional[IOTask]:
+        return self._tasks.get(task_id)
+
+    def tracked_nonempty(self) -> list[str]:
+        return self.controller.tracked_nonempty()

@@ -1,0 +1,321 @@
+"""The discrete-event simulation core: events, processes, the simulator.
+
+Design
+------
+The kernel follows the SimPy execution model, reimplemented from scratch:
+
+* A :class:`Simulator` owns a binary-heap event calendar keyed by
+  ``(time, priority, sequence)``.  The sequence number makes ordering a
+  total order, so two runs of the same program are bit-identical.
+* An :class:`Event` is a one-shot promise.  It is *triggered* with a
+  value (:meth:`Event.succeed`) or an exception (:meth:`Event.fail`),
+  which schedules it on the calendar; when the simulator pops it, all
+  registered callbacks run at that virtual instant.
+* A :class:`Process` wraps a generator.  The generator ``yield``\\ s
+  events; when a yielded event fires, the process resumes with the
+  event's value (or the exception is thrown into it).  A process is
+  itself an event that fires when the generator returns, so processes
+  compose (``yield child_process``).
+
+Virtual time is a float in **seconds**.  Nothing in the kernel sleeps on
+the wall clock; a million simulated requests run in however long the
+Python work takes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import Interrupted, InvalidEventState, SimError, SimulationEnded
+
+__all__ = ["Event", "Process", "Simulator", "PENDING", "TRIGGERED", "PROCESSED"]
+
+#: Event lifecycle states.
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+#: Priority band for interrupts — delivered before ordinary events that
+#: were scheduled for the same instant, matching SimPy's URGENT.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence with a value, scheduled on the calendar.
+
+    Events move ``PENDING -> TRIGGERED -> PROCESSED``.  Callbacks may be
+    attached while pending or triggered; attaching to a processed event
+    invokes the callback immediately (this keeps "wait on an already
+    finished task" race-free, which NORNS' completion queries rely on).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = PENDING
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """``True``/``False`` once triggered, ``None`` while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise InvalidEventState(f"value of {self!r} not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully, firing after ``delay``."""
+        self._trigger(True, value, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exc, BaseException):
+            raise InvalidEventState(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc, delay)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        if self._state != PENDING:
+            raise InvalidEventState(f"{self!r} already {self._state}")
+        if delay < 0:
+            raise SimError(f"negative delay {delay!r}")
+        self._ok = ok
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._schedule(self, delay, priority)
+
+    # -- callbacks ----------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._state == PROCESSED:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        try:
+            self.callbacks.remove(fn)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{tag} {self._state}>"
+
+
+class Process(Event):
+    """A coroutine driven by the simulator; also an event (its result).
+
+    The wrapped generator yields :class:`Event` instances.  When a
+    yielded event fires successfully the generator is resumed with the
+    event's value; on failure the exception is thrown into it (so plain
+    ``try/except`` works across virtual time).
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise SimError(f"Process needs a generator, got {gen!r}")
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current instant.
+        boot = Event(sim, name=f"{self.name}:boot")
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at this instant.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed queues the interrupt first (urgent
+        priority), matching SimPy semantics.
+        """
+        if not self.is_alive:
+            raise SimError(f"cannot interrupt dead process {self.name!r}")
+        target = self._waiting_on
+        if target is not None:
+            target.remove_callback(self._resume)
+            self._waiting_on = None
+        kick = Event(self.sim, name=f"{self.name}:interrupt")
+        kick.callbacks.append(self._resume)
+        kick._trigger(False, Interrupted(cause), 0.0, priority=URGENT)
+
+    # -- engine -------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        event: Any = trigger
+        while True:
+            try:
+                if event._ok:
+                    target = self._gen.send(event._value)
+                else:
+                    target = self._gen.throw(event._value)
+            except StopIteration as stop:
+                self.sim._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.sim._active_process = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.sim._active_process = None
+                bad = SimError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances"
+                )
+                self.fail(bad)
+                return
+            if target.sim is not self.sim:
+                self.sim._active_process = None
+                self.fail(SimError("yielded event belongs to another simulator"))
+                return
+
+            if target._state == PROCESSED:
+                # Already done — continue synchronously with its value.
+                event = target
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            self.sim._active_process = None
+            return
+
+
+class Simulator:
+    """The event loop: a calendar of ``(time, priority, seq, event)``.
+
+    ``run()`` pops events in order, advancing :attr:`now` and invoking
+    callbacks, until the calendar empties, a deadline passes, or an
+    awaited event fires.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now: float = float(start)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._event_count = 0
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        heapq.heappush(self._heap, (self.now + delay, priority, next(self._seq), event))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that fires ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"negative timeout {delay!r}")
+        ev = Event(self, name or f"timeout({delay})")
+        ev.succeed(value, delay=delay)
+        return ev
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator at the current instant."""
+        return Process(self, gen, name)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- execution ----------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationEnded("event calendar is empty")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise SimError("event scheduled in the past")
+        self.now = when
+        event._state = PROCESSED
+        callbacks, event.callbacks = event.callbacks, []
+        self._event_count += 1
+        for fn in callbacks:
+            fn(event)
+        if event._ok is False and not callbacks and not isinstance(event, Process):
+            # An un-awaited failure would otherwise vanish silently.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain the calendar), a number (run to
+        that virtual time), or an :class:`Event` (run until it fires and
+        return its value / raise its exception).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self.now:
+            raise SimError(f"until={deadline} lies in the past (now={self.now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None
+
+    def _run_until_event(self, ev: Event) -> Any:
+        done = []
+        ev.add_callback(done.append)
+        while not done:
+            if not self._heap:
+                raise SimulationEnded(
+                    f"calendar drained before {ev!r} fired"
+                )
+            self.step()
+        if ev._ok:
+            return ev._value
+        raise ev._value
+
+    @property
+    def event_count(self) -> int:
+        """Total number of processed events (for perf accounting)."""
+        return self._event_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now} pending={len(self._heap)}>"
+
+
+def iter_processes(sim: Simulator, gens: Iterable[Generator]) -> list[Process]:
+    """Convenience: start one process per generator, return them all."""
+    return [sim.process(g) for g in gens]

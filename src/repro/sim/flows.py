@@ -1,0 +1,319 @@
+"""Max-min fair fluid-flow engine for bandwidth modelling.
+
+Every shared medium in the reproduction — a NIC, the fabric core, a
+Lustre OST, an NVMe/DCPMM device, a node's memory bus — is a
+:class:`CapacityConstraint` (bytes/second).  A data movement is a
+:class:`Flow` of a known size that traverses a set of constraints and
+may additionally carry a per-flow rate cap (the paper's ``ofi+tcp``
+protocol saturates a single stream at ~1.7–1.8 GiB/s regardless of
+in-flight RPCs; that is exactly a per-flow cap).
+
+At any instant the rate of every active flow is the **max-min fair
+allocation** computed by progressive filling:
+
+1. raise all unfrozen flow rates uniformly,
+2. when a constraint saturates (or a flow hits its cap), freeze the
+   flows it limits,
+3. repeat until every flow is frozen.
+
+Between allocation changes flows progress linearly, so the simulator
+only needs an event at the earliest completion time.  Whenever the flow
+set changes, remaining sizes are advanced to *now* and rates are
+recomputed.  This is the classical fluid approximation used by network
+simulators; it reproduces contention curves (Fig. 1), per-stream
+saturation (Figs. 6–7) and device aggregation (Fig. 8) with O(flows ×
+constraints) work per change instead of per-packet events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import SimError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["CapacityConstraint", "Flow", "FlowScheduler"]
+
+#: Tolerance for "this constraint is saturated" comparisons.
+_EPS = 1e-9
+
+
+class CapacityConstraint:
+    """A shared medium with a fixed capacity in bytes/second."""
+
+    __slots__ = ("name", "capacity", "_flows", "_monitor_cb")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimError(f"constraint {name!r} needs positive capacity")
+        self.name = name
+        self.capacity = float(capacity)
+        self._flows: set["Flow"] = set()
+        self._monitor_cb = None  # optional callable(time, utilization)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def load(self) -> float:
+        """Sum of current flow rates through this constraint (bytes/s)."""
+        return sum(f.rate for f in self._flows)
+
+    @property
+    def utilization(self) -> float:
+        return self.load / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CapacityConstraint {self.name} {self.capacity:.3g}B/s n={len(self._flows)}>"
+
+
+class Flow:
+    """A finite transfer traversing a set of constraints.
+
+    Created via :meth:`FlowScheduler.transfer`; ``done`` fires with the
+    flow itself when the last byte moves.  ``rate`` is the currently
+    allocated bandwidth, re-derived at every membership change.
+    """
+
+    __slots__ = ("fid", "size", "remaining", "constraints", "rate_cap",
+                 "rate", "done", "started_at", "finished_at", "label",
+                 "weight")
+
+    def __init__(self, fid: int, size: float,
+                 constraints: Sequence[CapacityConstraint],
+                 rate_cap: Optional[float], done: Event,
+                 started_at: float, label: str = "",
+                 weight: float = 1.0) -> None:
+        self.fid = fid
+        self.size = float(size)
+        self.remaining = float(size)
+        self.constraints = tuple(constraints)
+        self.rate_cap = rate_cap
+        self.rate = 0.0
+        self.done = done
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+        self.label = label
+        #: Weighted max-min share: a flow of weight w receives w times
+        #: the bandwidth of a weight-1 competitor on the same
+        #: bottleneck — the fluid collapse of "w parallel streams".
+        self.weight = float(weight)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def mean_rate(self) -> Optional[float]:
+        el = self.elapsed
+        if el is None or el <= 0:
+            return None
+        return self.size / el
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow #{self.fid} {self.label!r} size={self.size:.3g} "
+                f"remaining={self.remaining:.3g} rate={self.rate:.3g}>")
+
+
+class FlowScheduler:
+    """Tracks active flows and drives them to completion over sim time."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._flows: set[Flow] = set()
+        self._fid = itertools.count(1)
+        self._last_update = sim.now
+        self._epoch = 0          # invalidates stale wake-up events
+        self._completed = 0
+        self._bytes_moved = 0.0
+
+    # -- public API ----------------------------------------------------
+    def transfer(self, size: float,
+                 constraints: Iterable[CapacityConstraint] = (),
+                 rate_cap: Optional[float] = None,
+                 label: str = "", weight: float = 1.0) -> Event:
+        """Start a flow of ``size`` bytes; returns its completion event.
+
+        A zero-size transfer completes at the current instant (after the
+        event loop turn), which callers rely on for empty files.
+        """
+        if size < 0:
+            raise SimError(f"negative transfer size {size}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise SimError(f"rate_cap must be positive, got {rate_cap}")
+        if weight <= 0:
+            raise SimError(f"weight must be positive, got {weight}")
+        done = self.sim.event(name=f"flow:{label or 'transfer'}")
+        flow = Flow(next(self._fid), size, tuple(constraints), rate_cap,
+                    done, self.sim.now, label, weight)
+        if size == 0:
+            flow.finished_at = self.sim.now
+            done.succeed(flow)
+            return done
+        if not flow.constraints and rate_cap is None:
+            # Unconstrained flow: instantaneous by definition.
+            flow.finished_at = self.sim.now
+            flow.remaining = 0.0
+            self._bytes_moved += flow.size
+            self._completed += 1
+            done.succeed(flow)
+            return done
+        self._advance()
+        self._flows.add(flow)
+        for c in flow.constraints:
+            c._flows.add(flow)
+        self._reallocate()
+        return done
+
+    def cancel(self, done_event: Event) -> None:
+        """Abort the flow behind ``done_event`` (fails the event)."""
+        target = None
+        for f in self._flows:
+            if f.done is done_event:
+                target = f
+                break
+        if target is None:
+            return
+        self._advance()
+        self._detach(target)
+        self._reallocate()
+        done_event.fail(SimError(f"flow #{target.fid} cancelled"))
+
+    @property
+    def active(self) -> int:
+        return len(self._flows)
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def bytes_moved(self) -> float:
+        return self._bytes_moved
+
+    # -- internals -------------------------------------------------------
+    def _detach(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for c in flow.constraints:
+            c._flows.discard(flow)
+
+    def _advance(self) -> None:
+        """Progress every flow from the last update instant to now."""
+        dt = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if dt <= 0:
+            return
+        finished: list[Flow] = []
+        for f in self._flows:
+            f.remaining -= f.rate * dt
+            if f.remaining <= _EPS * max(1.0, f.size):
+                f.remaining = 0.0
+                finished.append(f)
+        # Deterministic completion order.
+        for f in sorted(finished, key=lambda x: x.fid):
+            self._finish(f)
+
+    def _finish(self, flow: Flow) -> None:
+        self._detach(flow)
+        flow.finished_at = self.sim.now
+        flow.rate = 0.0
+        self._completed += 1
+        self._bytes_moved += flow.size
+        flow.done.succeed(flow)
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and schedule the next wake-up."""
+        self._epoch += 1
+        flows = sorted(self._flows, key=lambda f: f.fid)
+        if not flows:
+            return
+        rates = self._max_min_rates(flows)
+        next_done = math.inf
+        for f, r in zip(flows, rates):
+            f.rate = r
+            if r > 0:
+                next_done = min(next_done, f.remaining / r)
+        if math.isinf(next_done):
+            return  # everything stalled (zero rates) — wait for a change
+        epoch = self._epoch
+        wake = self.sim.timeout(next_done, name="flow:wake")
+        wake.add_callback(lambda _ev: self._on_wake(epoch))
+
+    def _on_wake(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a later reallocation
+        self._advance()
+        self._reallocate()
+
+    @staticmethod
+    def _max_min_rates(flows: Sequence[Flow]) -> list[float]:
+        """Progressive-filling *weighted* max-min fair allocation.
+
+        Rates rise proportionally to flow weights; flow rate caps are
+        honoured as single-flow constraints.  Returns rates aligned
+        with ``flows``.
+        """
+        n = len(flows)
+        rates = [0.0] * n
+        frozen = [False] * n
+        weights = [f.weight for f in flows]
+        # Gather the constraints touched by this flow set, once.
+        constraints: dict[CapacityConstraint, list[int]] = {}
+        for i, f in enumerate(flows):
+            for c in f.constraints:
+                constraints.setdefault(c, []).append(i)
+        used = {c: 0.0 for c in constraints}
+
+        unfrozen = n
+        # Each iteration freezes at least one flow, so <= n rounds.
+        for _round in range(n + 1):
+            if unfrozen == 0:
+                break
+            # delta is the uniform increment of the *normalized* rate
+            # (rate/weight) of all unfrozen flows.
+            delta = math.inf
+            for c, members in constraints.items():
+                live_w = sum(weights[i] for i in members if not frozen[i])
+                if live_w > 0:
+                    delta = min(delta, (c.capacity - used[c]) / live_w)
+            for i, f in enumerate(flows):
+                if not frozen[i] and f.rate_cap is not None:
+                    delta = min(delta, (f.rate_cap - rates[i]) / weights[i])
+            if math.isinf(delta):
+                # No constraint and no cap limits the rest: unbounded.
+                for i in range(n):
+                    if not frozen[i]:
+                        rates[i] = math.inf
+                        frozen[i] = True
+                break
+            delta = max(delta, 0.0)
+            for i in range(n):
+                if not frozen[i]:
+                    rates[i] += delta * weights[i]
+            for c, members in constraints.items():
+                live_w = sum(weights[i] for i in members if not frozen[i])
+                used[c] += delta * live_w
+            # Freeze flows limited by a saturated constraint or their cap.
+            froze_any = False
+            for c, members in constraints.items():
+                if c.capacity - used[c] <= _EPS * c.capacity:
+                    for i in members:
+                        if not frozen[i]:
+                            frozen[i] = True
+                            unfrozen -= 1
+                            froze_any = True
+            for i, f in enumerate(flows):
+                if (not frozen[i] and f.rate_cap is not None
+                        and rates[i] >= f.rate_cap - _EPS * f.rate_cap):
+                    frozen[i] = True
+                    unfrozen -= 1
+                    froze_any = True
+            if not froze_any:
+                # Numerical guard: nothing progressed; stop here.
+                break
+        return rates

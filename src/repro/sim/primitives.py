@@ -1,0 +1,72 @@
+"""Composition primitives over the DES kernel: timeouts and conditions.
+
+``all_of``/``any_of`` mirror SimPy's condition events and are used
+throughout the NORNS/Slurm layers, e.g. "wait for the stage-in task OR
+the staging timeout" (Section III of the paper: the scheduler waits for
+the transfer to complete *or* a pre-configured timeout).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SimError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Timeout", "all_of", "any_of", "Condition"]
+
+
+def Timeout(sim: Simulator, delay: float, value: Any = None) -> Event:
+    """Functional alias for :meth:`Simulator.timeout`."""
+    return sim.timeout(delay, value)
+
+
+class Condition(Event):
+    """An event that fires when a predicate over child events is met.
+
+    The value is a dict mapping each *fired* child event to its value,
+    in trigger order — enough to tell "which one won" for ``any_of``.
+    A failing child fails the condition immediately with that exception.
+    """
+
+    __slots__ = ("_events", "_need", "_done", "_fired")
+
+    def __init__(self, sim: Simulator, events: Sequence[Event], need: int,
+                 name: str = "") -> None:
+        super().__init__(sim, name or f"condition(need={need})")
+        events = list(events)
+        if need < 0 or need > len(events):
+            raise SimError(f"need={need} out of range for {len(events)} events")
+        self._events = events
+        self._need = need
+        self._done = 0
+        self._fired: dict[Event, Any] = {}
+        if need == 0 or not events:
+            self.succeed({})
+            return
+        for ev in events:
+            ev.add_callback(self._check)
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok is False:
+            self.fail(ev.value)
+            return
+        self._done += 1
+        self._fired[ev] = ev.value
+        if self._done >= self._need:
+            self.succeed(dict(self._fired))
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> Condition:
+    """Fires once every event has fired (fails fast on any failure)."""
+    evs = list(events)
+    return Condition(sim, evs, need=len(evs), name="all_of")
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> Condition:
+    """Fires as soon as one event fires (or fails on the first failure)."""
+    evs = list(events)
+    need = 1 if evs else 0
+    return Condition(sim, evs, need=need, name="any_of")

@@ -1,0 +1,251 @@
+"""SimPy-style shared resources: ``Resource``, ``Store``, ``Container``.
+
+These model the *discrete* contention points of the system:
+
+* :class:`Resource` — N interchangeable slots (e.g. the urd worker pool,
+  CPU cores on a compute node).
+* :class:`Store` — a FIFO (optionally bounded, optionally prioritised)
+  queue of Python objects (e.g. the urd task queue, socket mailboxes).
+* :class:`Container` — a scalar reservoir (e.g. dataspace capacity in
+  bytes).
+
+*Continuous* contention (bandwidth) is handled by :mod:`repro.sim.flows`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.errors import SimError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Resource", "Store", "Container"]
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with FIFO waiters.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    ``release()`` frees it.  The ``using()`` helper pairs them for use
+    in a ``try/finally``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        ev = self.sim.event(name=f"{self.name}:request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimError(f"release of idle resource {self.name!r}")
+        # Hand the slot straight to the next waiter, if any.
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if ev.triggered:  # cancelled waiter
+                continue
+            ev.succeed(self)
+            return
+        self._in_use -= 1
+
+    def cancel(self, request_event: Event) -> None:
+        """Withdraw a pending request (e.g. after an any_of timeout)."""
+        if not request_event.triggered:
+            request_event.fail(SimError("request cancelled"))
+            try:
+                self._waiters.remove(request_event)
+            except ValueError:
+                pass
+
+
+class Store:
+    """A queue of objects with blocking ``put``/``get``.
+
+    ``capacity=None`` means unbounded.  With ``priority=True``, items
+    are ``(priority, item)`` pairs popped lowest-priority-first with FIFO
+    tie-breaking — this is what the urd task queue uses so arbitration
+    policies (Section IV-B: "task order in the queue is controlled by a
+    task scheduler component") reduce to priority functions.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 priority: bool = False, name: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise SimError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "store"
+        self._priority = priority
+        self._items: list[Any] = []  # heap when priority, else list-as-FIFO
+        self._fifo: deque[Any] = deque()
+        self._seq = itertools.count()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items) if self._priority else len(self._fifo)
+
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of queued items (in pop order for FIFO stores)."""
+        if self._priority:
+            return [item for (_p, _s, item) in sorted(self._items)]
+        return list(self._fifo)
+
+    def _do_put(self, item: Any) -> None:
+        if self._priority:
+            prio, payload = item
+            heapq.heappush(self._items, (prio, next(self._seq), payload))
+        else:
+            self._fifo.append(item)
+
+    def _do_get(self) -> Any:
+        if self._priority:
+            _prio, _seq, payload = heapq.heappop(self._items)
+            return payload
+        return self._fifo.popleft()
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; blocks (pending event) when full."""
+        ev = self.sim.event(name=f"{self.name}:put")
+        if self.capacity is not None and len(self) >= self.capacity:
+            self._putters.append((ev, item))
+            return ev
+        self._do_put(item)
+        ev.succeed()
+        self._wake_getter()
+        return ev
+
+    def get(self) -> Event:
+        """Remove and return the next item; blocks when empty."""
+        ev = self.sim.event(name=f"{self.name}:get")
+        if len(self):
+            ev.succeed(self._do_get())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking pop: ``(True, item)`` or ``(False, None)``."""
+        if len(self):
+            item = self._do_get()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _wake_getter(self) -> None:
+        while self._getters and len(self):
+            ev = self._getters.popleft()
+            if ev.triggered:
+                continue
+            ev.succeed(self._do_get())
+            self._admit_putter()
+
+    def _admit_putter(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            if ev.triggered:
+                continue
+            self._do_put(item)
+            ev.succeed()
+            self._wake_getter()
+
+
+class Container:
+    """A scalar reservoir supporting blocking ``get``/``put`` of amounts.
+
+    Used for byte-capacity accounting (dataspace quotas, burst-buffer
+    pools).  Waiters are served FIFO; a waiter is granted as soon as the
+    level allows when it reaches the queue head (no overtaking, which
+    keeps accounting deterministic).
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0.0, name: str = "") -> None:
+        if capacity <= 0:
+            raise SimError(f"capacity must be positive, got {capacity}")
+        if init < 0 or init > capacity:
+            raise SimError(f"init {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "container"
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimError(f"negative put {amount}")
+        ev = self.sim.event(name=f"{self.name}:put")
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimError(f"negative get {amount}")
+        if amount > self.capacity:
+            raise SimError(f"get {amount} exceeds capacity {self.capacity}")
+        ev = self.sim.event(name=f"{self.name}:get")
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        moved = True
+        while moved:
+            moved = False
+            while self._putters:
+                ev, amount = self._putters[0]
+                if ev.triggered:
+                    self._putters.popleft()
+                    continue
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    moved = True
+                else:
+                    break
+            while self._getters:
+                ev, amount = self._getters[0]
+                if ev.triggered:
+                    self._getters.popleft()
+                    continue
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed()
+                    moved = True
+                else:
+                    break

@@ -1,0 +1,77 @@
+"""Textual front ends mirroring the Slurm user tools.
+
+Real users interact with Slurm through ``squeue``/``sacct``/``sworkflow``-
+style commands; these helpers render the controller's state in that
+shape so examples and operators get familiar output.  (The paper's
+extensions add the workflow status query: "Each workflow is assigned a
+unique Workflow ID enabling users to be able to enquire about the
+overall status of a workflow and obtain a list of all jobs and their
+status".)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.slurm.slurmctld import Slurmctld
+from repro.util.tables import render_table
+from repro.util.units import format_bytes, format_seconds
+
+__all__ = ["squeue", "sacct", "sworkflow", "sinfo"]
+
+
+def squeue(ctld: Slurmctld) -> str:
+    """Pending/active job listing."""
+    rows = []
+    for job_id, name, state in sorted(ctld.squeue()):
+        job = ctld.job(job_id)
+        if job.state.is_terminal:
+            continue
+        rows.append((job_id, name, state, job.spec.user,
+                     job.spec.nodes,
+                     ",".join(job.allocated_nodes) or "-",
+                     job.workflow_id if job.workflow_id is not None else "-"))
+    return render_table(
+        ("JOBID", "NAME", "STATE", "USER", "NODES", "NODELIST", "WORKFLOW"),
+        rows, title="squeue")
+
+
+def sacct(ctld: Slurmctld, job_id: Optional[int] = None) -> str:
+    """Accounting listing (phase timings + staged bytes)."""
+    records = ([ctld.accounting.get(job_id)] if job_id is not None
+               else ctld.accounting.records())
+    rows = []
+    for rec in records:
+        if rec is None:
+            continue
+        rows.append((
+            rec.job_id, rec.name, rec.state or "-",
+            format_seconds(rec.wait_seconds) if rec.wait_seconds is not None else "-",
+            format_seconds(rec.stage_in_seconds) if rec.stage_in_seconds else "-",
+            format_seconds(rec.run_seconds) if rec.run_seconds is not None else "-",
+            format_seconds(rec.stage_out_seconds) if rec.stage_out_seconds else "-",
+            format_bytes(rec.bytes_staged_in + rec.bytes_staged_out)
+            if (rec.bytes_staged_in or rec.bytes_staged_out) else "-",
+            len(rec.warnings) or "-",
+        ))
+    return render_table(
+        ("JOBID", "NAME", "STATE", "WAIT", "STAGE-IN", "RUN",
+         "STAGE-OUT", "STAGED", "WARN"),
+        rows, title="sacct")
+
+
+def sworkflow(ctld: Slurmctld, workflow_id: int) -> str:
+    """The paper's workflow status query."""
+    status, jobs = ctld.workflow_status(workflow_id)
+    rows = [(job_id, name, state) for job_id, name, state in jobs]
+    table = render_table(("JOBID", "NAME", "STATE"), rows,
+                         title=f"workflow {workflow_id}: {status.value}")
+    return table
+
+
+def sinfo(ctld: Slurmctld) -> str:
+    """Node availability summary."""
+    free = ctld.free_nodes
+    rows = [(name, "idle" if name in free else "alloc")
+            for name in sorted(ctld.slurmds)]
+    return render_table(("NODE", "STATE"), rows, title="sinfo")

@@ -1,0 +1,319 @@
+"""slurmctld: the controller daemon tying scheduling, workflows, NORNS
+staging and accounting together.
+
+The control flow per job follows Section III end to end::
+
+    PENDING --(allocation)--> CONFIGURING   register job on nodes,
+                                            trigger stage_in, wait for
+                                            data (or timeout -> FAILED +
+                                            cleanup + cancel dependents)
+    CONFIGURING --> RUNNING                 launch one step per node
+    RUNNING --> STAGING_OUT                 stage_out (failures leave
+                                            data), persist ops, cleanup
+    STAGING_OUT --> COMPLETED               tracked-dataspace check,
+                                            unregister, release nodes
+
+Scheduling is event-driven: every submission, completion or staging
+transition queues a wake-up that re-runs the backfill pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    Interrupted, SlurmError, StagingFailure, UnknownJob,
+)
+from repro.sim.core import Simulator
+from repro.sim.primitives import all_of, any_of
+from repro.sim.resources import Store
+from repro.slurm.accounting import AccountingLog
+from repro.slurm.job import Job, JobSpec, JobState
+from repro.slurm.scheduler import BackfillScheduler, PriorityCalculator
+from repro.slurm.script import parse_batch_script
+from repro.slurm.selector import NodeSelector
+from repro.slurm.slurmd import Slurmd
+from repro.slurm.staging import PersistRegistry, StagingCoordinator
+from repro.slurm.workflow import WorkflowManager
+
+__all__ = ["SlurmConfig", "Slurmctld"]
+
+
+@dataclass
+class SlurmConfig:
+    """Controller policy knobs (the ablation axes)."""
+
+    #: Execute #NORNS staging directives (off = paper's baseline where
+    #: applications hit the PFS directly).
+    staging_enabled: bool = True
+    #: Prefer nodes already holding a job's input data.
+    data_aware_placement: bool = True
+    #: Age factor for priorities (per second).
+    age_weight: float = 1.0 / 3600.0
+    #: Upper bound on concurrent scheduling passes' look-ahead — kept
+    #: for interface completeness.
+    backfill: bool = True
+
+
+class Slurmctld:
+    """The cluster controller."""
+
+    def __init__(self, sim: Simulator, slurmds: Dict[str, Slurmd],
+                 config: Optional[SlurmConfig] = None) -> None:
+        if not slurmds:
+            raise SlurmError("slurmctld needs at least one slurmd")
+        self.sim = sim
+        self.slurmds = slurmds
+        self.config = config or SlurmConfig()
+        self.workflows = WorkflowManager()
+        self.persist = PersistRegistry()
+        self.staging = StagingCoordinator(sim, slurmds, self.persist)
+        self.selector = NodeSelector(
+            self.persist, data_aware=self.config.data_aware_placement)
+        self.scheduler = BackfillScheduler(
+            PriorityCalculator(self.config.age_weight),
+            backfill=self.config.backfill)
+        self.accounting = AccountingLog()
+        self._jobs: Dict[int, Job] = {}
+        self._free_nodes: set[str] = set(slurmds)
+        self._events: Store = Store(sim, name="slurmctld:events")
+        sim.process(self._main_loop(), name="slurmctld")
+
+    # ------------------------------------------------------------------
+    # Submission interface
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Submit a job; returns the tracked :class:`Job`."""
+        if spec.nodes > len(self.slurmds):
+            raise SlurmError(
+                f"job wants {spec.nodes} nodes, partition has "
+                f"{len(self.slurmds)}")
+        job = Job(spec, submit_time=self.sim.now)
+        job.done = self.sim.event(name=f"job:{job.job_id}:done")
+        self._jobs[job.job_id] = job
+        self.workflows.place_job(job)
+        rec = self.accounting.record_for(job.job_id, spec.name, spec.user)
+        rec.submit_time = self.sim.now
+        rec.workflow_id = job.workflow_id
+        self._kick()
+        return job
+
+    def submit_script(self, text: str, program=None,
+                      dataspaces=None) -> Job:
+        """Parse a batch script and submit it."""
+        return self.submit(parse_batch_script(text, program=program,
+                                              dataspaces=dataspaces))
+
+    def cancel(self, job_id: int, reason: str = "user cancel") -> None:
+        job = self.job(job_id)
+        if job.state.is_terminal:
+            return
+        if job.state == JobState.PENDING:
+            job.set_state(JobState.CANCELLED, reason)
+            self._finish_accounting(job)
+        else:
+            for proc in job._step_procs:
+                if proc.is_alive:
+                    proc.interrupt(reason)
+            job.set_state(JobState.CANCELLED, reason)
+        self._kick()
+
+    # -- queries ----------------------------------------------------------
+    def job(self, job_id: int) -> Job:
+        j = self._jobs.get(job_id)
+        if j is None:
+            raise UnknownJob(str(job_id))
+        return j
+
+    def squeue(self) -> List[tuple[int, str, str]]:
+        return [(j.job_id, j.spec.name, j.state.value)
+                for j in self._jobs.values()]
+
+    def workflow_status(self, workflow_id: int):
+        wf = self.workflows.workflow(workflow_id)
+        return wf.status, wf.job_status_list()
+
+    @property
+    def free_nodes(self) -> frozenset[str]:
+        return frozenset(self._free_nodes)
+
+    def drain(self):
+        """Event firing when no job is pending or active."""
+        gates = [j.done for j in self._jobs.values()
+                 if not j.state.is_terminal]
+        return all_of(self.sim, gates)
+
+    # ------------------------------------------------------------------
+    # Scheduling loop
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        self._events.put("wake")
+
+    def _main_loop(self):
+        while True:
+            yield self._events.get()
+            while True:
+                more, _ = self._events.try_get()
+                if not more:
+                    break
+            self._schedule_pass()
+
+    def _eligible(self, job: Job) -> bool:
+        if job.state != JobState.PENDING:
+            return False
+        if job.workflow_id is not None:
+            wf = self.workflows.workflow(job.workflow_id)
+            if not wf.is_runnable(job.job_id):
+                return False
+        return True
+
+    def _schedule_pass(self) -> None:
+        pending = [j for j in self._jobs.values() if self._eligible(j)]
+        running = [j for j in self._jobs.values() if j.state.is_active]
+        # Data-aware hints: a workflow job prefers its producers' nodes.
+        for job in pending:
+            if job.workflow_id is not None:
+                wf = self.workflows.workflow(job.workflow_id)
+                hints: list[str] = []
+                for producer in wf.producers_of(job.job_id):
+                    hints.extend(producer.allocated_nodes)
+                job.data_hints = tuple(dict.fromkeys(hints))
+        decisions = self.scheduler.schedule(
+            self.sim.now, pending, sorted(self._free_nodes), running,
+            workflows=self.workflows, selector=self.selector)
+        for d in decisions:
+            for n in d.nodes:
+                self._free_nodes.discard(n)
+            d.job.allocated_nodes = d.nodes
+            self.sim.process(self._run_job(d.job),
+                             name=f"jobctl:{d.job.job_id}")
+
+    # ------------------------------------------------------------------
+    # Per-job lifecycle
+    # ------------------------------------------------------------------
+    def _run_job(self, job: Job):
+        rec = self.accounting.record_for(job.job_id)
+        rec.nodes = job.allocated_nodes
+        rec.alloc_time = self.sim.now
+        job.set_state(JobState.CONFIGURING)
+        self._set_environment(job)
+
+        # Register the job with every node's urd via nornsctl.
+        yield all_of(self.sim, [
+            self.sim.process(self.slurmds[n].configure_job(job))
+            for n in job.allocated_nodes])
+
+        # Stage-in (Section III): wait for data, or terminate + clean up.
+        if self.config.staging_enabled and job.spec.stage_in:
+            try:
+                report = yield self.sim.process(
+                    self.staging.stage_in(job))
+                rec.stage_in_seconds = report.elapsed
+                rec.bytes_staged_in = report.bytes
+            except StagingFailure as exc:
+                rec.warnings.append(f"stage_in failed: {exc}")
+                yield from self._terminate(job, JobState.FAILED,
+                                           f"stage-in failed: {exc}")
+                return
+
+        if job.state.is_terminal:   # cancelled during staging
+            yield from self._release(job)
+            return
+
+        # Run the job steps.
+        job.set_state(JobState.RUNNING)
+        job.start_time = self.sim.now
+        rec.start_time = self.sim.now
+        job._step_procs = [
+            self.slurmds[node].launch_step(job, rank)
+            for rank, node in enumerate(job.allocated_nodes)]
+        gate = all_of(self.sim, job._step_procs)
+        limit = self.sim.timeout(job.spec.time_limit)
+        try:
+            fired = yield any_of(self.sim, [gate, limit])
+        except Exception as exc:   # a step failed
+            rec.warnings.append(f"step failure: {exc}")
+            yield from self._terminate(job, JobState.FAILED, str(exc))
+            return
+        if gate not in fired:
+            for proc in job._step_procs:
+                if proc.is_alive:
+                    proc.interrupt("time limit")
+            rec.warnings.append("time limit exceeded")
+            yield from self._terminate(job, JobState.TIMEOUT,
+                                       "time limit exceeded")
+            return
+
+        # Stage-out; failures leave data on the nodes (Section III).
+        stage_out_failed = False
+        if self.config.staging_enabled and job.spec.stage_out:
+            job.set_state(JobState.STAGING_OUT)
+            report = yield self.sim.process(self.staging.stage_out(job))
+            rec.stage_out_seconds = report.elapsed
+            rec.bytes_staged_out = report.bytes
+            stage_out_failed = not report.ok
+            for failure in report.failures:
+                rec.warnings.append(f"stage_out: {failure} (data left "
+                                    "on node-local storage)")
+
+        # Persist operations, then cleanup of non-persisted data.
+        if self.config.staging_enabled:
+            try:
+                yield from self.staging.apply_persist(job)
+            except SlurmError as exc:
+                rec.warnings.append(f"persist: {exc}")
+            yield from self.staging.cleanup_job_data(
+                job, keep_stage_out_data=stage_out_failed)
+
+        yield from self._release(job)
+        job.end_time = self.sim.now
+        rec.end_time = self.sim.now
+        job.set_state(JobState.COMPLETED)
+        self._finish_accounting(job)
+        self._kick()
+
+    def _terminate(self, job: Job, state: JobState, reason: str):
+        """Failure path: cancel workflow dependents and release nodes."""
+        yield from self._release(job)
+        job.end_time = self.sim.now
+        rec = self.accounting.record_for(job.job_id)
+        rec.end_time = self.sim.now
+        job.set_state(state, reason)
+        if job.workflow_id is not None:
+            wf = self.workflows.workflow(job.workflow_id)
+            for cancelled in wf.cancel_dependents(job.job_id):
+                self._finish_accounting(cancelled)
+        self._finish_accounting(job)
+        self._kick()
+
+    def _release(self, job: Job):
+        """Tracked-dataspace check, unregister, free the nodes."""
+        rec = self.accounting.record_for(job.job_id)
+        for node in job.allocated_nodes:
+            leftovers = self.slurmds[node].tracked_nonempty()
+            if leftovers:
+                # "Slurm will be informed of the presence of a non-empty
+                # dataspace, which will allow it to take appropriate
+                # measures" — we record it and proceed with the release.
+                rec.warnings.append(
+                    f"{node}: non-empty tracked dataspaces {leftovers}")
+        yield all_of(self.sim, [
+            self.sim.process(self.slurmds[n].unconfigure_job(job))
+            for n in job.allocated_nodes])
+        for n in job.allocated_nodes:
+            self._free_nodes.add(n)
+
+    def _finish_accounting(self, job: Job) -> None:
+        rec = self.accounting.record_for(job.job_id)
+        rec.state = job.state.value
+        if rec.end_time is None and job.state.is_terminal:
+            rec.end_time = self.sim.now
+
+    def _set_environment(self, job: Job) -> None:
+        """Expose dataspace IDs as $LUSTRE / $NVME0 / ... (Section IV-A)."""
+        for nsid in job.spec.dataspaces:
+            var = nsid.rstrip(":/").upper()
+            job.environment[var] = nsid
+        job.environment["SLURM_JOB_ID"] = str(job.job_id)
+        job.environment["SLURM_JOB_NODELIST"] = ",".join(job.allocated_nodes)

@@ -1,0 +1,118 @@
+"""The per-node Slurm daemon.
+
+slurmd is the bridge between slurmctld and the node's urd: it registers
+jobs/processes with the local NORNS instance through the ``nornsctl``
+API ("slurmd ... performs the actual calls to the nornsctl API",
+Section IV-A), launches job-step processes, and answers tracked-
+dataspace queries at node-release time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import SlurmError
+from repro.net.sockets import Credentials, LocalSocketHub
+from repro.norns.api.control import NornsCtlClient
+from repro.norns.api.user import NornsClient
+from repro.norns.urd import GID_NORNS_USER, UrdDaemon
+from repro.sim.core import Process, Simulator
+from repro.slurm.job import Job, StepContext
+
+__all__ = ["Slurmd"]
+
+#: Cluster-wide step pid allocator (pids are unique across nodes for
+#: bookkeeping simplicity; nothing depends on per-node pid spaces).
+_pids = itertools.count(10_000)
+
+
+class Slurmd:
+    """One compute node's Slurm daemon."""
+
+    def __init__(self, sim: Simulator, node: str, hub: LocalSocketHub,
+                 urd: UrdDaemon, membus=None) -> None:
+        self.sim = sim
+        self.node = node
+        self.hub = hub
+        self.urd = urd
+        self.membus = membus
+        self._root = Credentials(uid=0, gid=0)
+
+    # -- NORNS access ------------------------------------------------------
+    def ctl(self) -> NornsCtlClient:
+        """Fresh control-API client (one connection per operation set)."""
+        return NornsCtlClient(self.sim, self.hub, self._root,
+                              socket_path=self.urd.config.control_socket)
+
+    def user_client(self, pid: int, uid: int = 1000,
+                    gid: int = 100) -> NornsClient:
+        creds = Credentials(uid=uid, gid=gid,
+                            groups=frozenset({GID_NORNS_USER}))
+        return NornsClient(self.sim, self.hub, creds, pid=pid,
+                           socket_path=self.urd.config.user_socket)
+
+    def resolve_backend(self, nsid: str):
+        """Dataspace backend lookup for step I/O and staging expansion."""
+        return self.urd.controller.resolve(nsid).backend
+
+    def tracked_nonempty(self) -> list[str]:
+        """Tracked dataspaces still holding data (node-release check)."""
+        return self.urd.tracked_nonempty()
+
+    # -- job configuration ---------------------------------------------------
+    def configure_job(self, job: Job):
+        """Register the job with the local urd (generator)."""
+        ctl = self.ctl()
+        yield from ctl.register_job(
+            job.job_id,
+            ctl.job_init(job.allocated_nodes, job.spec.dataspaces))
+        ctl.close()
+
+    def unconfigure_job(self, job: Job):
+        """Remove the job registration (generator)."""
+        from repro.errors import NornsError
+        ctl = self.ctl()
+        try:
+            yield from ctl.unregister_job(job.job_id)
+        except NornsError:
+            pass  # already gone (e.g. failed configuration)
+        ctl.close()
+
+    # -- step launch ---------------------------------------------------------------
+    def launch_step(self, job: Job, rank: int) -> Process:
+        """Start one job step on this node; returns its process."""
+        return self.sim.process(self._step(job, rank),
+                                name=f"step:{job.job_id}:{self.node}")
+
+    def _step(self, job: Job, rank: int):
+        from repro.errors import Interrupted, NornsError
+        pid = next(_pids)
+        ctl = self.ctl()
+        yield from ctl.add_process(job.job_id, pid, uid=1000, gid=100)
+        ctl.close()
+        norns_client = self.user_client(pid)
+        ctx = StepContext(self.sim, job, self.node, rank,
+                          self.resolve_backend, norns_client,
+                          membus=self.membus)
+        result = None
+        failure = None
+        try:
+            if job.spec.program is not None:
+                result = yield self.sim.process(
+                    job.spec.program(ctx),
+                    name=f"prog:{job.job_id}:{self.node}")
+        except Interrupted:
+            failure = None  # preempted by slurmctld (timeout/cancel)
+        except Exception as exc:
+            failure = exc
+        norns_client.close()
+        ctl2 = self.ctl()
+        try:
+            yield from ctl2.remove_process(job.job_id, pid)
+        except NornsError:
+            pass  # job already unregistered
+        ctl2.close()
+        if failure is not None:
+            raise failure
+        return result

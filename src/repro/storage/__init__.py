@@ -1,0 +1,34 @@
+"""Storage substrate: devices, namespaces, mounts, PFS, burst buffers.
+
+Layers:
+
+* :mod:`repro.storage.device` — block-device bandwidth/latency profiles
+  (HDD, SATA SSD, NVMe, Intel DCPMM, tmpfs).
+* :mod:`repro.storage.filesystem` — a pure-metadata namespace whose file
+  contents are ``(size, fingerprint)`` pairs: terabyte-scale datasets
+  cost O(1) memory while truncation/corruption stays detectable.
+* :mod:`repro.storage.posix` — a mounted filesystem combining a
+  namespace with a device and an optional page-cache model.
+* :mod:`repro.storage.pfs` — a Lustre-like parallel file system with an
+  MDS, OSS/OST striping and a shared ingest link; the contention arena
+  of Figs. 1 and 8.
+* :mod:`repro.storage.burst_buffer` — a shared burst-buffer appliance
+  (DataWarp/IME-style) for the related-work comparisons.
+* :mod:`repro.storage.ior` — an IOR-style benchmark driver.
+"""
+
+from repro.storage.device import BlockDevice, DeviceProfile, PROFILES
+from repro.storage.filesystem import FileContent, Namespace, fingerprint_of
+from repro.storage.posix import Mount
+from repro.storage.pfs import ParallelFileSystem, PfsConfig
+from repro.storage.burst_buffer import BurstBuffer, BurstBufferConfig
+from repro.storage.ior import IorConfig, IorResult, ior_process, run_ior
+
+__all__ = [
+    "BlockDevice", "DeviceProfile", "PROFILES",
+    "FileContent", "Namespace", "fingerprint_of",
+    "Mount",
+    "ParallelFileSystem", "PfsConfig",
+    "BurstBuffer", "BurstBufferConfig",
+    "IorConfig", "IorResult", "ior_process", "run_ior",
+]

@@ -1,0 +1,140 @@
+"""A shared burst-buffer appliance (Cray DataWarp / DDN IME style).
+
+The paper's background section contrasts *shared* burst buffers —
+dedicated I/O nodes external to compute nodes, which "require correct
+sizing to ensure they can adequately handle the volume of I/O" — with
+the node-local NVM approach NORNS exploits.  This model provides the
+shared appliance as a comparator: a fixed pool of I/O nodes, each with a
+link and device bandwidth, fronted by a single namespace.  Ablation
+benchmarks use it to show where the many-to-few funnel saturates while
+node-local aggregate bandwidth keeps scaling.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NoSpace, SimError
+from repro.net.fabric import Fabric
+from repro.sim.core import Event, Simulator
+from repro.sim.flows import CapacityConstraint
+from repro.storage.filesystem import FileContent, Namespace, normalize
+from repro.util.units import GB, TB
+
+__all__ = ["BurstBufferConfig", "BurstBuffer"]
+
+
+@dataclass(frozen=True)
+class BurstBufferConfig:
+    name: str = "bb"
+    n_io_nodes: int = 4
+    node_bandwidth: float = 5.0 * GB   # per I/O node, each direction
+    capacity: float = 50 * TB
+
+    def __post_init__(self) -> None:
+        if self.n_io_nodes < 1:
+            raise SimError("burst buffer needs at least one I/O node")
+        if self.node_bandwidth <= 0 or self.capacity <= 0:
+            raise SimError("burst buffer sizes must be positive")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.n_io_nodes * self.node_bandwidth
+
+
+class BurstBuffer:
+    """Shared burst-buffer pool with per-I/O-node bandwidth limits."""
+
+    def __init__(self, sim: Simulator, config: BurstBufferConfig = BurstBufferConfig(),
+                 fabric: Optional[Fabric] = None, server_node: str = "bb") -> None:
+        if fabric is None:
+            raise SimError("BurstBuffer requires a fabric")
+        self.sim = sim
+        self.config = config
+        self.fabric = fabric
+        self.server_node = server_node
+        self.ns = Namespace()
+        self.used = 0.0
+        self._io_nodes = [
+            CapacityConstraint(f"{config.name}:ion{i}", config.node_bandwidth)
+            for i in range(config.n_io_nodes)
+        ]
+        if server_node not in fabric:
+            fabric.add_node(server_node,
+                            nic_bandwidth=config.peak_bandwidth)
+
+    def _io_node_for(self, path: str) -> CapacityConstraint:
+        """Deterministic placement of a file onto one I/O node."""
+        idx = zlib.crc32(normalize(path).encode()) % len(self._io_nodes)
+        return self._io_nodes[idx]
+
+    @property
+    def free(self) -> float:
+        return self.config.capacity - self.used
+
+    def write(self, client_node: str, path: str, size: int,
+              token: Optional[str] = None, extra_constraints=(),
+              content: Optional[FileContent] = None) -> Event:
+        """Stage data into the appliance from a compute node.
+
+        ``content`` preserves an existing fingerprint (copy semantics);
+        ``extra_constraints`` threads in source-medium limits.
+        """
+        path = normalize(path)
+        if content is not None:
+            size = content.size
+        done = self.sim.event(name=f"bb:write:{path}")
+        old = self.ns.lookup(path).size if self.ns.exists(path) else 0
+        if self.used + size - old > self.config.capacity:
+            done.fail(NoSpace(f"{self.config.name}: {size}B does not fit"))
+            return done
+        self.used += size - old
+        ion = self._io_node_for(path)
+        ev = self.fabric.transfer(client_node, self.server_node, size,
+                                  extra_constraints=[ion,
+                                                     *extra_constraints],
+                                  label=f"bb:w:{path}")
+        if content is None:
+            content = FileContent.synthesize(token or f"bb:{path}", size)
+
+        def finish(e: Event) -> None:
+            if e.ok:
+                self.ns.create(path, content)
+                done.succeed(content)
+            else:
+                self.used -= size - old
+                done.fail(e.value)
+
+        ev.add_callback(finish)
+        return done
+
+    def read(self, client_node: str, path: str,
+             expect: Optional[FileContent] = None,
+             extra_constraints=()) -> Event:
+        """Stage data out of the appliance to a compute node."""
+        path = normalize(path)
+        done = self.sim.event(name=f"bb:read:{path}")
+        try:
+            content = self.ns.lookup(path)
+        except Exception as e:  # NoSuchFile
+            done.fail(e)
+            return done
+        if expect is not None and not content.verify_against(expect):
+            from repro.errors import DataCorruption
+            done.fail(DataCorruption(f"{path}: fingerprint mismatch"))
+            return done
+        ion = self._io_node_for(path)
+        ev = self.fabric.transfer(self.server_node, client_node, content.size,
+                                  extra_constraints=[ion,
+                                                     *extra_constraints],
+                                  label=f"bb:r:{path}")
+        ev.add_callback(
+            lambda e: done.succeed(content) if e.ok else done.fail(e.value))
+        return done
+
+    def delete(self, path: str) -> FileContent:
+        content = self.ns.unlink(normalize(path))
+        self.used -= content.size
+        return content

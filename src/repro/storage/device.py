@@ -1,0 +1,121 @@
+"""Block-device models.
+
+A device contributes two capacity constraints (read path, write path) to
+the flow engine plus a fixed per-operation latency.  Profiles bundle the
+numbers for the hardware classes the paper discusses; the DCPMM profile
+is calibrated against the NEXTGenIO measurements (Fig. 8, Tables III–V),
+where a node's DCPMM absorbs file-per-process IOR traffic at several
+GB/s and scales linearly with node count because every node brings its
+own devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NoSpace, SimError
+from repro.sim.core import Event, Simulator
+from repro.sim.flows import CapacityConstraint, FlowScheduler
+from repro.util.units import GB, MB, TB, GiB
+
+__all__ = ["DeviceProfile", "BlockDevice", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Performance envelope of a device class."""
+
+    name: str
+    read_bandwidth: float    # bytes/s
+    write_bandwidth: float   # bytes/s
+    read_latency: float      # seconds per operation
+    write_latency: float     # seconds per operation
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise SimError(f"{self.name}: bandwidths must be positive")
+        if self.read_latency < 0 or self.write_latency < 0:
+            raise SimError(f"{self.name}: latencies must be non-negative")
+
+
+#: Device classes from the paper's storage discussion.  DCPMM numbers
+#: reflect filesystem-level throughput with 48 writer processes (not raw
+#: module bandwidth), which is what IOR on the prototype observes.
+PROFILES: dict[str, DeviceProfile] = {
+    "hdd": DeviceProfile("hdd", 160 * MB, 140 * MB, 4.0e-3, 4.5e-3),
+    "sata-ssd": DeviceProfile("sata-ssd", 520 * MB, 480 * MB, 60e-6, 70e-6),
+    "nvme": DeviceProfile("nvme", 3.2 * GB, 2.4 * GB, 12e-6, 16e-6),
+    "dcpmm": DeviceProfile("dcpmm", 6.0 * GB, 2.6 * GB, 1.5e-6, 2.0e-6),
+    "tmpfs": DeviceProfile("tmpfs", 18 * GB, 14 * GB, 0.5e-6, 0.5e-6),
+}
+
+
+class BlockDevice:
+    """A device instance: constraints + capacity accounting."""
+
+    def __init__(self, sim: Simulator, flows: FlowScheduler,
+                 profile: DeviceProfile, capacity: float,
+                 name: str = "") -> None:
+        if capacity <= 0:
+            raise SimError("device capacity must be positive")
+        self.sim = sim
+        self.flows = flows
+        self.profile = profile
+        self.capacity = float(capacity)
+        self.used = 0.0
+        self.name = name or profile.name
+        self.read_path = CapacityConstraint(
+            f"{self.name}:read", profile.read_bandwidth)
+        self.write_path = CapacityConstraint(
+            f"{self.name}:write", profile.write_bandwidth)
+
+    # -- space accounting -------------------------------------------------
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve space; raises :class:`NoSpace` when it doesn't fit."""
+        if nbytes < 0:
+            raise SimError(f"negative allocation {nbytes}")
+        if self.used + nbytes > self.capacity:
+            raise NoSpace(
+                f"{self.name}: need {nbytes:.0f}B, only {self.free:.0f}B free")
+        self.used += nbytes
+
+    def release(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise SimError(f"negative release {nbytes}")
+        self.used = max(0.0, self.used - nbytes)
+
+    # -- timed I/O ---------------------------------------------------------
+    def read(self, size: float, extra_constraints=(), rate_cap=None,
+             label: str = "") -> Event:
+        """Timed read of ``size`` bytes through the device's read path."""
+        return self._io(size, self.read_path, self.profile.read_latency,
+                        extra_constraints, rate_cap, label or "read")
+
+    def write(self, size: float, extra_constraints=(), rate_cap=None,
+              label: str = "") -> Event:
+        """Timed write of ``size`` bytes through the device's write path."""
+        return self._io(size, self.write_path, self.profile.write_latency,
+                        extra_constraints, rate_cap, label or "write")
+
+    def _io(self, size: float, path: CapacityConstraint, latency: float,
+            extra_constraints, rate_cap, label: str) -> Event:
+        if size < 0:
+            raise SimError(f"negative I/O size {size}")
+        done = self.sim.event(name=f"{self.name}:{label}")
+        constraints = [path, *extra_constraints]
+
+        def start(_e: Event) -> None:
+            flow = self.flows.transfer(size, constraints, rate_cap,
+                                       label=f"{self.name}:{label}")
+            flow.add_callback(
+                lambda ev: done.succeed(ev.value) if ev.ok else done.fail(ev.value))
+
+        if latency > 0:
+            self.sim.timeout(latency).add_callback(start)
+        else:
+            start(done)
+        return done

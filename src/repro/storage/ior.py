@@ -1,0 +1,170 @@
+"""IOR-style benchmark driver.
+
+Reproduces the two access patterns the paper measures with IOR/MPI-IO:
+
+* **file-per-process** (Figs. 1b, 8): every rank creates its own file
+  and reads/writes it sequentially with a fixed transfer size;
+* **single-shared-file collective** (Fig. 1a): all ranks write disjoint
+  portions of one file using a chosen Lustre stripe width.
+
+The driver can target the PFS or a per-node local mount (the DCPMM side
+of Fig. 8) and reports the aggregate bandwidth over the slowest rank,
+matching how IOR computes its numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.errors import SimError
+from repro.sim.core import Event, Simulator
+from repro.sim.primitives import all_of
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.posix import Mount
+from repro.util.units import GiB, KiB, MiB
+
+__all__ = ["IorConfig", "IorResult", "ior_process", "run_ior"]
+
+#: Client-side software cost per I/O call (syscall + MPI-IO bookkeeping).
+CLIENT_OP_OVERHEAD = 15e-6
+
+
+@dataclass(frozen=True)
+class IorConfig:
+    """One IOR invocation."""
+
+    nodes: tuple[str, ...]
+    procs_per_node: int = 1
+    block_size: int = 1 * GiB          # bytes written/read per process
+    transfer_size: int = 512 * KiB     # per-call transfer size
+    mode: str = "write"                # "write" | "read"
+    file_per_process: bool = True
+    stripe_count: Optional[int] = None  # shared-file stripe width (PFS)
+    workdir: str = "/ior"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise SimError("IOR needs at least one client node")
+        if self.procs_per_node < 1:
+            raise SimError("procs_per_node must be >= 1")
+        if self.block_size <= 0 or self.transfer_size <= 0:
+            raise SimError("sizes must be positive")
+        if self.mode not in ("write", "read"):
+            raise SimError(f"unknown mode {self.mode!r}")
+        if not self.file_per_process and self.mode == "read":
+            raise SimError("shared-file read not modelled (paper uses writes)")
+
+    @property
+    def total_procs(self) -> int:
+        return len(self.nodes) * self.procs_per_node
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_procs * self.block_size
+
+    @property
+    def ops_per_proc(self) -> int:
+        return max(1, self.block_size // self.transfer_size)
+
+
+@dataclass
+class IorResult:
+    """Aggregate outcome of one IOR run."""
+
+    config: IorConfig
+    started_at: float
+    finished_at: float
+    per_proc_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate bytes/s over the slowest rank (IOR convention)."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.config.total_bytes / self.elapsed
+
+
+def _proc_path(cfg: IorConfig, node: str, rank: int) -> str:
+    return f"{cfg.workdir}/{node}/rank{rank}.dat"
+
+
+def prepare_files(cfg: IorConfig, pfs: Optional[ParallelFileSystem] = None,
+                  mounts: Optional[Dict[str, Mount]] = None) -> None:
+    """Pre-create the files a read-mode run expects (no simulated time)."""
+    from repro.storage.filesystem import FileContent
+    for node in cfg.nodes:
+        for rank in range(cfg.procs_per_node):
+            path = _proc_path(cfg, node, rank)
+            content = FileContent.synthesize(path, cfg.block_size)
+            if pfs is not None:
+                pfs.ns.create(path, content)
+                pfs._layout_for(path, 1, create=True)
+            if mounts is not None:
+                mount = mounts[node]
+                mount.device.allocate(cfg.block_size)
+                mount.ns.create(path, content)
+
+
+def ior_process(sim: Simulator, cfg: IorConfig,
+                pfs: Optional[ParallelFileSystem] = None,
+                mounts: Optional[Dict[str, Mount]] = None):
+    """Generator running one IOR invocation; returns :class:`IorResult`.
+
+    Exactly one of ``pfs`` (shared target) or ``mounts`` (node-local
+    target keyed by node name) must be provided.
+    """
+    if (pfs is None) == (mounts is None):
+        raise SimError("provide exactly one of pfs= or mounts=")
+    start = sim.now
+    result = IorResult(config=cfg, started_at=start, finished_at=start)
+
+    if not cfg.file_per_process:
+        # Collective single-shared-file write (Fig. 1a pattern).
+        writers = [node for node in cfg.nodes
+                   for _ in range(cfg.procs_per_node)]
+        overhead = cfg.ops_per_proc * CLIENT_OP_OVERHEAD
+        yield sim.timeout(overhead)
+        yield pfs.collective_write(writers, f"{cfg.workdir}/shared.dat",
+                                   cfg.block_size,
+                                   stripe_count=cfg.stripe_count)
+        result.finished_at = sim.now
+        return result
+
+    def one_proc(node: str, rank: int):
+        path = _proc_path(cfg, node, rank)
+        t0 = sim.now
+        yield sim.timeout(cfg.ops_per_proc * CLIENT_OP_OVERHEAD)
+        if pfs is not None:
+            if cfg.mode == "write":
+                yield pfs.write(node, path, cfg.block_size, stripe_count=1)
+            else:
+                yield pfs.read(node, path)
+        else:
+            mount = mounts[node]
+            if cfg.mode == "write":
+                yield mount.write_file(path, cfg.block_size)
+            else:
+                yield mount.read_file(path)
+        result.per_proc_seconds[f"{node}:{rank}"] = sim.now - t0
+
+    procs = [sim.process(one_proc(node, rank))
+             for node in cfg.nodes for rank in range(cfg.procs_per_node)]
+    yield all_of(sim, procs)
+    result.finished_at = sim.now
+    return result
+
+
+def run_ior(sim: Simulator, cfg: IorConfig,
+            pfs: Optional[ParallelFileSystem] = None,
+            mounts: Optional[Dict[str, Mount]] = None,
+            prepare: bool = False) -> IorResult:
+    """Convenience wrapper: run an IOR invocation to completion."""
+    if prepare or cfg.mode == "read":
+        prepare_files(cfg, pfs=pfs, mounts=mounts)
+    proc = sim.process(ior_process(sim, cfg, pfs=pfs, mounts=mounts))
+    return sim.run(proc)

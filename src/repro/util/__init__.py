@@ -1,0 +1,14 @@
+"""Small shared utilities: units, statistics, table rendering."""
+
+from repro.util.units import (
+    KiB, MiB, GiB, TiB, KB, MB, GB, TB,
+    format_bytes, format_rate, format_seconds, parse_size,
+)
+from repro.util.stats import summarize, Summary
+from repro.util.tables import render_table
+
+__all__ = [
+    "KiB", "MiB", "GiB", "TiB", "KB", "MB", "GB", "TB",
+    "format_bytes", "format_rate", "format_seconds", "parse_size",
+    "summarize", "Summary", "render_table",
+]

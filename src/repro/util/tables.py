@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment reports.
+
+Keeps the benchmark harness free of plotting dependencies: every figure
+is regenerated as the series of numbers behind it, every table as rows
+matching the paper's layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table"]
+
+
+def _cell(v: Any) -> str:
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        if abs(v) >= 1000 or (abs(v) < 0.01 and v != 0):
+            return f"{v:.3g}"
+        return f"{v:.2f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table; numeric columns right-aligned."""
+    srows = [[_cell(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    ncols = len(headers)
+    for r in srows:
+        if len(r) != ncols:
+            raise ValueError(f"row {r!r} has {len(r)} cells, expected {ncols}")
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in srows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)

@@ -1,0 +1,92 @@
+"""Byte/rate/time units and human-readable formatting.
+
+The paper mixes decimal (GB, MB/s in Figs. 1, 8 and Tables) and binary
+(GiB/s, MiB in Figs. 6–7) units; both families are provided and the
+formatting helpers keep experiment reports consistent with the figure
+captions.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KiB", "MiB", "GiB", "TiB",
+    "KB", "MB", "GB", "TB",
+    "format_bytes", "format_rate", "format_seconds", "parse_size",
+]
+
+KiB = 1024
+MiB = 1024 ** 2
+GiB = 1024 ** 3
+TiB = 1024 ** 4
+
+KB = 1000
+MB = 1000 ** 2
+GB = 1000 ** 3
+TB = 1000 ** 4
+
+_SUFFIXES = {
+    "b": 1,
+    "k": KB, "kb": KB, "kib": KiB,
+    "m": MB, "mb": MB, "mib": MiB,
+    "g": GB, "gb": GB, "gib": GiB,
+    "t": TB, "tb": TB, "tib": TiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse ``"100GB"``, ``"16MiB"``, ``"512k"`` ... into bytes.
+
+    Bare numbers are taken as bytes.  Raises ``ValueError`` on junk.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"negative size {text!r}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size {text!r}")
+    value, suffix = m.groups()
+    suffix = suffix.lower()
+    if suffix and suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    mult = _SUFFIXES.get(suffix, 1)
+    return int(float(value) * mult)
+
+
+def _format(value: float, base: int, units: tuple[str, ...]) -> str:
+    v = float(value)
+    for unit in units[:-1]:
+        if abs(v) < base:
+            return f"{v:.2f} {unit}" if unit != units[0] else f"{v:.0f} {unit}"
+        v /= base
+    return f"{v:.2f} {units[-1]}"
+
+
+def format_bytes(n: float, binary: bool = True) -> str:
+    """Render a byte count, binary (KiB...) by default."""
+    if binary:
+        return _format(n, 1024, ("B", "KiB", "MiB", "GiB", "TiB", "PiB"))
+    return _format(n, 1000, ("B", "KB", "MB", "GB", "TB", "PB"))
+
+
+def format_rate(bytes_per_s: float, binary: bool = True) -> str:
+    """Render a bandwidth, e.g. ``"1.70 GiB/s"``."""
+    return format_bytes(bytes_per_s, binary) + "/s"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a sensible unit (µs/ms/s/min)."""
+    s = float(seconds)
+    if s == 0:
+        return "0 s"
+    if abs(s) < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if abs(s) < 1:
+        return f"{s * 1e3:.2f} ms"
+    if abs(s) < 120:
+        return f"{s:.2f} s"
+    return f"{s / 60:.1f} min"

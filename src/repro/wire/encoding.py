@@ -1,0 +1,92 @@
+"""Field tags and wire types (the protobuf key framing).
+
+A field key is ``(field_number << 3) | wire_type``, itself a varint.
+Only the wire types the NORNS protocol needs are implemented.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import WireDecodeError, WireEncodeError
+from repro.wire.varint import decode_varint, encode_varint
+
+__all__ = [
+    "WIRETYPE_VARINT", "WIRETYPE_FIXED64", "WIRETYPE_LEN", "WIRETYPE_FIXED32",
+    "encode_tag", "decode_tag", "encode_double", "decode_double",
+    "encode_len_prefixed", "decode_len_prefixed", "skip_field",
+]
+
+WIRETYPE_VARINT = 0
+WIRETYPE_FIXED64 = 1
+WIRETYPE_LEN = 2
+WIRETYPE_FIXED32 = 5
+
+_VALID_WIRETYPES = frozenset({WIRETYPE_VARINT, WIRETYPE_FIXED64,
+                              WIRETYPE_LEN, WIRETYPE_FIXED32})
+_MAX_FIELD_NUMBER = (1 << 29) - 1
+
+
+def encode_tag(field_number: int, wire_type: int) -> bytes:
+    if not 1 <= field_number <= _MAX_FIELD_NUMBER:
+        raise WireEncodeError(f"field number {field_number} out of range")
+    if wire_type not in _VALID_WIRETYPES:
+        raise WireEncodeError(f"invalid wire type {wire_type}")
+    return encode_varint((field_number << 3) | wire_type)
+
+
+def decode_tag(buf: bytes, offset: int = 0) -> tuple[int, int, int]:
+    """Returns ``(field_number, wire_type, next_offset)``."""
+    key, pos = decode_varint(buf, offset)
+    field_number = key >> 3
+    wire_type = key & 0x7
+    if field_number == 0:
+        raise WireDecodeError("field number 0 is reserved")
+    if wire_type not in _VALID_WIRETYPES:
+        raise WireDecodeError(f"invalid wire type {wire_type}")
+    return field_number, wire_type, pos
+
+
+def encode_double(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def decode_double(buf: bytes, offset: int = 0) -> tuple[float, int]:
+    if offset + 8 > len(buf):
+        raise WireDecodeError("truncated fixed64")
+    return struct.unpack_from("<d", buf, offset)[0], offset + 8
+
+
+def encode_len_prefixed(payload: bytes) -> bytes:
+    return encode_varint(len(payload)) + payload
+
+
+def decode_len_prefixed(buf: bytes, offset: int = 0) -> tuple[bytes, int]:
+    length, pos = decode_varint(buf, offset)
+    end = pos + length
+    if end > len(buf):
+        raise WireDecodeError("truncated length-delimited field")
+    return bytes(buf[pos:end]), end
+
+
+def skip_field(buf: bytes, offset: int, wire_type: int) -> int:
+    """Skip over an unknown field's payload; returns the next offset.
+
+    Forward compatibility: decoding ignores unknown field numbers, like
+    protobuf, so protocol evolution does not break old daemons.
+    """
+    if wire_type == WIRETYPE_VARINT:
+        _, pos = decode_varint(buf, offset)
+        return pos
+    if wire_type == WIRETYPE_FIXED64:
+        if offset + 8 > len(buf):
+            raise WireDecodeError("truncated fixed64 during skip")
+        return offset + 8
+    if wire_type == WIRETYPE_FIXED32:
+        if offset + 4 > len(buf):
+            raise WireDecodeError("truncated fixed32 during skip")
+        return offset + 4
+    if wire_type == WIRETYPE_LEN:
+        _, pos = decode_len_prefixed(buf, offset)
+        return pos
+    raise WireDecodeError(f"cannot skip wire type {wire_type}")

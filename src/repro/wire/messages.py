@@ -1,0 +1,375 @@
+"""Declarative message layer over the raw wire encoding.
+
+A message class declares ordered fields with protobuf-like types::
+
+    class SubmitRequest(Message):
+        fields = (
+            Field(1, "task_type", enum()),
+            Field(2, "input", submessage(ResourceDesc)),
+            Field(3, "output", submessage(ResourceDesc)),
+            Field(4, "priority", sint64(), default=0),
+        )
+
+Instances carry plain attributes; ``encode()`` produces protobuf-
+compatible bytes for the declared scalar types, and ``decode()`` round-
+trips them, skipping unknown fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import WireDecodeError, WireEncodeError
+from repro.wire import encoding as enc
+from repro.wire.varint import (
+    decode_varint, decode_zigzag, encode_varint, encode_zigzag,
+)
+
+__all__ = [
+    "Field", "Message",
+    "uint64", "sint64", "bool_", "enum", "double", "string", "bytes_",
+    "submessage", "repeated",
+]
+
+
+class FieldType:
+    """Encode/decode strategy for a single field value."""
+
+    wire_type: int = enc.WIRETYPE_VARINT
+    repeated = False
+
+    def encode(self, value: Any) -> bytes:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def decode(self, buf: bytes, offset: int) -> tuple[Any, int]:  # pragma: no cover
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> None:
+        pass
+
+    def zero(self) -> Any:
+        return None
+
+
+class _Uint64(FieldType):
+    wire_type = enc.WIRETYPE_VARINT
+
+    def encode(self, value: Any) -> bytes:
+        return encode_varint(int(value))
+
+    def decode(self, buf: bytes, offset: int) -> tuple[int, int]:
+        return decode_varint(buf, offset)
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise WireEncodeError(f"uint64 field needs a non-negative int, got {value!r}")
+
+    def zero(self) -> int:
+        return 0
+
+
+class _Sint64(FieldType):
+    wire_type = enc.WIRETYPE_VARINT
+
+    def encode(self, value: Any) -> bytes:
+        return encode_zigzag(int(value))
+
+    def decode(self, buf: bytes, offset: int) -> tuple[int, int]:
+        return decode_zigzag(buf, offset)
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise WireEncodeError(f"sint64 field needs an int, got {value!r}")
+
+    def zero(self) -> int:
+        return 0
+
+
+class _Bool(FieldType):
+    wire_type = enc.WIRETYPE_VARINT
+
+    def encode(self, value: Any) -> bytes:
+        return encode_varint(1 if value else 0)
+
+    def decode(self, buf: bytes, offset: int) -> tuple[bool, int]:
+        v, pos = decode_varint(buf, offset)
+        return bool(v), pos
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, bool):
+            raise WireEncodeError(f"bool field needs a bool, got {value!r}")
+
+    def zero(self) -> bool:
+        return False
+
+
+class _Enum(FieldType):
+    """Varint-encoded enum; optionally restricted to known values."""
+
+    wire_type = enc.WIRETYPE_VARINT
+
+    def __init__(self, allowed: Optional[frozenset[int]] = None) -> None:
+        self.allowed = allowed
+
+    def encode(self, value: Any) -> bytes:
+        return encode_varint(int(value))
+
+    def decode(self, buf: bytes, offset: int) -> tuple[int, int]:
+        v, pos = decode_varint(buf, offset)
+        if self.allowed is not None and v not in self.allowed:
+            raise WireDecodeError(f"enum value {v} not in {sorted(self.allowed)}")
+        return v, pos
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise WireEncodeError(f"enum field needs a non-negative int, got {value!r}")
+        if self.allowed is not None and value not in self.allowed:
+            raise WireEncodeError(f"enum value {value} not in {sorted(self.allowed)}")
+
+    def zero(self) -> Optional[int]:
+        # A restricted enum has no valid zero value: unset means absent
+        # (like proto3's requirement that 0 be a defined variant).
+        return None if self.allowed is not None else 0
+
+
+class _Double(FieldType):
+    wire_type = enc.WIRETYPE_FIXED64
+
+    def encode(self, value: Any) -> bytes:
+        return enc.encode_double(float(value))
+
+    def decode(self, buf: bytes, offset: int) -> tuple[float, int]:
+        return enc.decode_double(buf, offset)
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise WireEncodeError(f"double field needs a number, got {value!r}")
+
+    def zero(self) -> float:
+        return 0.0
+
+
+class _String(FieldType):
+    wire_type = enc.WIRETYPE_LEN
+
+    def encode(self, value: Any) -> bytes:
+        return enc.encode_len_prefixed(value.encode("utf-8"))
+
+    def decode(self, buf: bytes, offset: int) -> tuple[str, int]:
+        raw, pos = enc.decode_len_prefixed(buf, offset)
+        try:
+            return raw.decode("utf-8"), pos
+        except UnicodeDecodeError as e:
+            raise WireDecodeError(f"invalid UTF-8 in string field: {e}") from e
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, str):
+            raise WireEncodeError(f"string field needs str, got {value!r}")
+
+    def zero(self) -> str:
+        return ""
+
+
+class _Bytes(FieldType):
+    wire_type = enc.WIRETYPE_LEN
+
+    def encode(self, value: Any) -> bytes:
+        return enc.encode_len_prefixed(bytes(value))
+
+    def decode(self, buf: bytes, offset: int) -> tuple[bytes, int]:
+        return enc.decode_len_prefixed(buf, offset)
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise WireEncodeError(f"bytes field needs bytes, got {value!r}")
+
+    def zero(self) -> bytes:
+        return b""
+
+
+class _Submessage(FieldType):
+    wire_type = enc.WIRETYPE_LEN
+
+    def __init__(self, msg_cls: type["Message"]) -> None:
+        self.msg_cls = msg_cls
+
+    def encode(self, value: Any) -> bytes:
+        return enc.encode_len_prefixed(value.encode())
+
+    def decode(self, buf: bytes, offset: int) -> tuple["Message", int]:
+        raw, pos = enc.decode_len_prefixed(buf, offset)
+        return self.msg_cls.decode(raw), pos
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, self.msg_cls):
+            raise WireEncodeError(
+                f"submessage field needs {self.msg_cls.__name__}, got {value!r}")
+
+    def zero(self) -> None:
+        return None
+
+
+class _Repeated(FieldType):
+    """Unpacked repeated field: one tagged entry per element."""
+
+    def __init__(self, inner: FieldType) -> None:
+        self.inner = inner
+        self.wire_type = inner.wire_type
+        self.repeated = True
+
+    def encode(self, value: Any) -> bytes:  # handled specially in Message
+        return self.inner.encode(value)
+
+    def decode(self, buf: bytes, offset: int) -> tuple[Any, int]:
+        return self.inner.decode(buf, offset)
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, (list, tuple)):
+            raise WireEncodeError(f"repeated field needs list/tuple, got {value!r}")
+        for v in value:
+            self.inner.validate(v)
+
+    def zero(self) -> list:
+        return []
+
+
+# Factory helpers matching .proto type names.
+def uint64() -> FieldType:
+    return _Uint64()
+
+
+def sint64() -> FieldType:
+    return _Sint64()
+
+
+def bool_() -> FieldType:
+    return _Bool()
+
+
+def enum(*allowed: int) -> FieldType:
+    return _Enum(frozenset(allowed) if allowed else None)
+
+
+def double() -> FieldType:
+    return _Double()
+
+
+def string() -> FieldType:
+    return _String()
+
+
+def bytes_() -> FieldType:
+    return _Bytes()
+
+
+def submessage(msg_cls: type["Message"]) -> FieldType:
+    return _Submessage(msg_cls)
+
+
+def repeated(inner: FieldType) -> FieldType:
+    return _Repeated(inner)
+
+
+class Field:
+    """One declared field: ``(number, name, type, default)``."""
+
+    __slots__ = ("number", "name", "ftype", "default")
+
+    def __init__(self, number: int, name: str, ftype: FieldType,
+                 default: Any = None) -> None:
+        self.number = number
+        self.name = name
+        self.ftype = ftype
+        self.default = default
+
+    def initial(self) -> Any:
+        if self.default is not None:
+            return self.default
+        return self.ftype.zero()
+
+
+class Message:
+    """Base class: subclasses set ``fields = (Field(...), ...)``."""
+
+    fields: tuple[Field, ...] = ()
+    _by_number: dict[int, Field]
+    _by_name: dict[str, Field]
+
+    def __init_subclass__(cls, **kw: Any) -> None:
+        super().__init_subclass__(**kw)
+        numbers = [f.number for f in cls.fields]
+        if len(set(numbers)) != len(numbers):
+            raise WireEncodeError(f"{cls.__name__}: duplicate field numbers")
+        cls._by_number = {f.number: f for f in cls.fields}
+        cls._by_name = {f.name: f for f in cls.fields}
+
+    def __init__(self, **values: Any) -> None:
+        for f in self.fields:
+            setattr(self, f.name, f.initial())
+        for name, value in values.items():
+            if name not in self._by_name:
+                raise WireEncodeError(
+                    f"{type(self).__name__} has no field {name!r}")
+            setattr(self, name, value)
+
+    # -- codec ----------------------------------------------------------
+    def encode(self) -> bytes:
+        out = bytearray()
+        for f in self.fields:
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if f.ftype.repeated:
+                f.ftype.validate(value)
+                for item in value:
+                    out += enc.encode_tag(f.number, f.ftype.wire_type)
+                    out += f.ftype.encode(item)
+            else:
+                f.ftype.validate(value)
+                out += enc.encode_tag(f.number, f.ftype.wire_type)
+                out += f.ftype.encode(value)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "Message":
+        msg = cls()
+        pos = 0
+        n = len(buf)
+        while pos < n:
+            number, wire_type, pos = enc.decode_tag(buf, pos)
+            field = cls._by_number.get(number)
+            if field is None:
+                pos = enc.skip_field(buf, pos, wire_type)
+                continue
+            if wire_type != field.ftype.wire_type:
+                raise WireDecodeError(
+                    f"{cls.__name__}.{field.name}: wire type {wire_type} "
+                    f"!= declared {field.ftype.wire_type}")
+            value, pos = field.ftype.decode(buf, pos)
+            if field.ftype.repeated:
+                getattr(msg, field.name).append(value)
+            else:
+                setattr(msg, field.name, value)
+        return msg
+
+    # -- conveniences -----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for f in self.fields:
+            v = getattr(self, f.name)
+            if isinstance(v, Message):
+                v = v.to_dict()
+            elif isinstance(v, list):
+                v = [x.to_dict() if isinstance(x, Message) else x for x in v]
+            out[f.name] = v
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(getattr(self, f.name) == getattr(other, f.name)
+                   for f in self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{f.name}={getattr(self, f.name)!r}" for f in self.fields)
+        return f"{type(self).__name__}({inner})"

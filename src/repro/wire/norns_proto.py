@@ -1,0 +1,303 @@
+"""NORNS RPC message schema (the reproduction's ``norns.proto``).
+
+Mirrors the request families of Table I: daemon management, dataspace
+management, job management, process management and task management for
+the control API; dataspace/task queries for the user API.  Every message
+crossing an AF_UNIX socket or the fabric in this reproduction is one of
+these, encoded by :mod:`repro.wire.messages`.
+"""
+
+from __future__ import annotations
+
+from repro.wire.messages import (
+    Field, Message, bool_, bytes_, double, enum, repeated, sint64, string,
+    submessage, uint64,
+)
+from repro.wire.registry import MessageRegistry
+
+__all__ = [
+    "ResourceDesc", "DataspaceDesc", "JobLimits",
+    "CommandRequest", "StatusRequest",
+    "RegisterDataspaceRequest", "UpdateDataspaceRequest",
+    "UnregisterDataspaceRequest",
+    "RegisterJobRequest", "UpdateJobRequest", "UnregisterJobRequest",
+    "AddProcessRequest", "RemoveProcessRequest",
+    "IotaskSubmitRequest", "IotaskStatusRequest", "IotaskWaitRequest",
+    "GetDataspaceInfoRequest",
+    "RemoteFileRequest", "RemoteFileResponse",
+    "GenericResponse", "SubmitResponse", "TaskStatusResponse",
+    "DataspaceInfoResponse", "DaemonStatusResponse",
+    "NORNS_PROTOCOL",
+    # resource kinds
+    "KIND_MEMORY", "KIND_POSIX_PATH", "KIND_REMOTE_PATH",
+    # task types
+    "IOTASK_COPY", "IOTASK_MOVE", "IOTASK_REMOVE",
+    # error codes
+    "ERR_SUCCESS", "ERR_NOSUCHNSID", "ERR_NSIDEXISTS", "ERR_NOTREGISTERED",
+    "ERR_ACCESSDENIED", "ERR_TASKERROR", "ERR_NOPLUGIN", "ERR_TIMEOUT",
+    "ERR_BUSY", "ERR_BADREQUEST", "ERR_NOSUCHTASK", "ERR_NOSUCHJOB",
+]
+
+# -- enums ------------------------------------------------------------------
+
+#: Resource kinds (norns_resource_init types).
+KIND_MEMORY = 1       # NORNS_MEMORY_REGION
+KIND_POSIX_PATH = 2   # NORNS_POSIX_PATH (local dataspace)
+KIND_REMOTE_PATH = 3  # NORNS_REMOTE_PATH (dataspace on another node)
+
+#: I/O task types (norns_iotask_init types).
+IOTASK_COPY = 1
+IOTASK_MOVE = 2
+IOTASK_REMOVE = 3
+
+#: API error codes (``NORNS_E*``).
+ERR_SUCCESS = 0
+ERR_NOSUCHNSID = 1
+ERR_NSIDEXISTS = 2
+ERR_NOTREGISTERED = 3
+ERR_ACCESSDENIED = 4
+ERR_TASKERROR = 5
+ERR_NOPLUGIN = 6
+ERR_TIMEOUT = 7
+ERR_BUSY = 8
+ERR_BADREQUEST = 9
+ERR_NOSUCHTASK = 10
+ERR_NOSUCHJOB = 11
+
+
+# -- shared descriptors -------------------------------------------------------
+
+class ResourceDesc(Message):
+    """A data resource endpoint: memory region, local path or remote path."""
+
+    fields = (
+        Field(1, "kind", enum(KIND_MEMORY, KIND_POSIX_PATH, KIND_REMOTE_PATH)),
+        Field(2, "nsid", string()),      # dataspace id, e.g. "nvme0://"
+        Field(3, "path", string()),      # path within the dataspace
+        Field(4, "host", string()),      # remote node name (KIND_REMOTE_PATH)
+        Field(5, "address", uint64()),   # memory region base (KIND_MEMORY)
+        Field(6, "size", uint64()),      # region size / expected byte count
+    )
+
+
+class DataspaceDesc(Message):
+    """Dataspace registration payload (nornsctl_backend_init + DSID)."""
+
+    fields = (
+        Field(1, "nsid", string()),
+        Field(2, "backend_kind", string()),   # "lustre", "nvme", "pmdk", "tmpfs"
+        Field(3, "mount", string()),
+        Field(4, "quota_bytes", uint64()),
+        Field(5, "track", bool_(), default=False),
+    )
+
+
+class JobLimits(Message):
+    """Per-job limits handed over by the scheduler (nornsctl_job_init)."""
+
+    fields = (
+        Field(1, "nsids", repeated(string())),   # dataspaces the job may touch
+        Field(2, "quota_bytes", uint64()),
+    )
+
+
+# -- control requests ---------------------------------------------------------
+
+class CommandRequest(Message):
+    """nornsctl_send_command: ping / pause-accept / resume-accept / shutdown."""
+
+    fields = (
+        Field(1, "command", string()),
+        Field(2, "args", repeated(string())),
+    )
+
+
+class StatusRequest(Message):
+    """nornsctl_status: snapshot of daemon counters."""
+
+    fields = ()
+
+
+class RegisterDataspaceRequest(Message):
+    fields = (Field(1, "dataspace", submessage(DataspaceDesc)),)
+
+
+class UpdateDataspaceRequest(Message):
+    fields = (Field(1, "dataspace", submessage(DataspaceDesc)),)
+
+
+class UnregisterDataspaceRequest(Message):
+    fields = (Field(1, "nsid", string()),)
+
+
+class RegisterJobRequest(Message):
+    fields = (
+        Field(1, "job_id", uint64()),
+        Field(2, "hosts", repeated(string())),
+        Field(3, "limits", submessage(JobLimits)),
+    )
+
+
+class UpdateJobRequest(Message):
+    fields = (
+        Field(1, "job_id", uint64()),
+        Field(2, "hosts", repeated(string())),
+        Field(3, "limits", submessage(JobLimits)),
+    )
+
+
+class UnregisterJobRequest(Message):
+    fields = (Field(1, "job_id", uint64()),)
+
+
+class AddProcessRequest(Message):
+    fields = (
+        Field(1, "job_id", uint64()),
+        Field(2, "pid", uint64()),
+        Field(3, "uid", uint64()),
+        Field(4, "gid", uint64()),
+    )
+
+
+class RemoveProcessRequest(Message):
+    fields = (
+        Field(1, "job_id", uint64()),
+        Field(2, "pid", uint64()),
+    )
+
+
+# -- task requests (shared by control and user APIs) --------------------------
+
+class IotaskSubmitRequest(Message):
+    fields = (
+        Field(1, "task_type", enum(IOTASK_COPY, IOTASK_MOVE, IOTASK_REMOVE)),
+        Field(2, "input", submessage(ResourceDesc)),
+        Field(3, "output", submessage(ResourceDesc)),
+        Field(4, "pid", uint64()),
+        Field(5, "priority", sint64(), default=0),
+        Field(6, "admin", bool_(), default=False),
+    )
+
+
+class IotaskStatusRequest(Message):
+    fields = (
+        Field(1, "task_id", uint64()),
+        Field(2, "pid", uint64()),
+    )
+
+
+class GetDataspaceInfoRequest(Message):
+    """norns_get_dataspace_info: list dataspaces visible to the caller."""
+
+    fields = (Field(1, "pid", uint64()),)
+
+
+class IotaskWaitRequest(Message):
+    """norns_wait(task, timeout): park until the task completes."""
+
+    fields = (
+        Field(1, "task_id", uint64()),
+        Field(2, "pid", uint64()),
+        Field(3, "timeout_seconds", double(), default=0.0),  # 0 = infinite
+    )
+
+
+# -- remote transfer control messages (urd <-> urd over Mercury) ---------------
+
+class RemoteFileRequest(Message):
+    """Query/prepare/commit payload for node-to-node transfers."""
+
+    fields = (
+        Field(1, "nsid", string()),
+        Field(2, "path", string()),
+        Field(3, "size", uint64()),
+        Field(4, "fingerprint", uint64()),
+        Field(5, "pid", uint64()),
+    )
+
+
+class RemoteFileResponse(Message):
+    fields = (
+        Field(1, "error_code", uint64()),
+        Field(2, "size", uint64()),
+        Field(3, "fingerprint", uint64()),
+        Field(4, "detail", string()),
+    )
+
+
+# -- responses ----------------------------------------------------------------
+
+class GenericResponse(Message):
+    fields = (
+        Field(1, "error_code", uint64()),
+        Field(2, "detail", string()),
+    )
+
+
+class SubmitResponse(Message):
+    fields = (
+        Field(1, "error_code", uint64()),
+        Field(2, "task_id", uint64()),
+        Field(3, "eta_seconds", double(), default=0.0),
+    )
+
+
+class TaskStatusResponse(Message):
+    fields = (
+        Field(1, "error_code", uint64()),
+        Field(2, "task_id", uint64()),
+        Field(3, "status", string()),          # pending/running/finished/error
+        Field(4, "task_error", uint64()),
+        Field(5, "bytes_total", uint64()),
+        Field(6, "bytes_moved", uint64()),
+        Field(7, "eta_seconds", double(), default=0.0),
+        Field(8, "elapsed_seconds", double(), default=0.0),
+    )
+
+
+class DataspaceInfoResponse(Message):
+    fields = (
+        Field(1, "error_code", uint64()),
+        Field(2, "dataspaces", repeated(submessage(DataspaceDesc))),
+    )
+
+
+class DaemonStatusResponse(Message):
+    fields = (
+        Field(1, "error_code", uint64()),
+        Field(2, "running_tasks", uint64()),
+        Field(3, "pending_tasks", uint64()),
+        Field(4, "completed_tasks", uint64()),
+        Field(5, "registered_jobs", uint64()),
+        Field(6, "registered_dataspaces", uint64()),
+        Field(7, "accepting", bool_(), default=True),
+    )
+
+
+#: The wire registry used by both APIs and the urd daemon.  IDs are part
+#: of the protocol and must never be reused.
+NORNS_PROTOCOL = MessageRegistry()
+for _mid, _cls in [
+    (1, CommandRequest),
+    (2, StatusRequest),
+    (3, RegisterDataspaceRequest),
+    (4, UpdateDataspaceRequest),
+    (5, UnregisterDataspaceRequest),
+    (6, RegisterJobRequest),
+    (7, UpdateJobRequest),
+    (8, UnregisterJobRequest),
+    (9, AddProcessRequest),
+    (10, RemoveProcessRequest),
+    (11, IotaskSubmitRequest),
+    (12, IotaskStatusRequest),
+    (13, GetDataspaceInfoRequest),
+    (14, IotaskWaitRequest),
+    (15, RemoteFileRequest),
+    (32, GenericResponse),
+    (33, SubmitResponse),
+    (34, TaskStatusResponse),
+    (35, DataspaceInfoResponse),
+    (36, DaemonStatusResponse),
+    (37, RemoteFileResponse),
+]:
+    NORNS_PROTOCOL.register(_mid, _cls)

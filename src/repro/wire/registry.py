@@ -1,0 +1,68 @@
+"""Message-type registry and transport framing.
+
+A frame is ``varint(message_id) ++ varint(len) ++ payload``, so a socket
+stream can be parsed without knowing message contents — the same role
+protobuf's ``Any``/type registries play for the real NORNS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import UnknownMessageError, WireDecodeError
+from repro.wire.encoding import decode_len_prefixed, encode_len_prefixed
+from repro.wire.varint import decode_varint, encode_varint
+
+__all__ = ["MessageRegistry", "encode_frame", "decode_frame"]
+
+
+class MessageRegistry:
+    """Bidirectional ``message_id <-> Message class`` mapping."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, type] = {}
+        self._by_cls: Dict[type, int] = {}
+
+    def register(self, message_id: int, cls: type) -> type:
+        if message_id in self._by_id:
+            raise UnknownMessageError(
+                f"message id {message_id} already bound to "
+                f"{self._by_id[message_id].__name__}")
+        if cls in self._by_cls:
+            raise UnknownMessageError(f"{cls.__name__} already registered")
+        self._by_id[message_id] = cls
+        self._by_cls[cls] = message_id
+        return cls
+
+    def id_of(self, cls: type) -> int:
+        try:
+            return self._by_cls[cls]
+        except KeyError:
+            raise UnknownMessageError(f"{cls.__name__} not registered") from None
+
+    def cls_of(self, message_id: int) -> type:
+        try:
+            return self._by_id[message_id]
+        except KeyError:
+            raise UnknownMessageError(f"unknown message id {message_id}") from None
+
+    def __contains__(self, cls: type) -> bool:
+        return cls in self._by_cls
+
+
+def encode_frame(registry: MessageRegistry, message) -> bytes:
+    """Serialize ``message`` with its registry id prepended."""
+    mid = registry.id_of(type(message))
+    payload = message.encode()
+    return encode_varint(mid) + encode_len_prefixed(payload)
+
+
+def decode_frame(registry: MessageRegistry, buf: bytes, offset: int = 0):
+    """Parse one frame; returns ``(message, next_offset)``."""
+    mid, pos = decode_varint(buf, offset)
+    payload, pos = decode_len_prefixed(buf, pos)
+    cls = registry.cls_of(mid)
+    try:
+        return cls.decode(payload), pos
+    except WireDecodeError as e:
+        raise WireDecodeError(f"frame for {cls.__name__}: {e}") from e

@@ -1,0 +1,33 @@
+"""Application models: the workloads the paper evaluates with.
+
+* :mod:`repro.workloads.app` — reusable step-program building blocks
+  (compute phases, file production/consumption).
+* :mod:`repro.workloads.synthetic` — the producer/consumer synthetic
+  workflow benchmark of Tables III-IV.
+* :mod:`repro.workloads.hpcg` — a memory-bandwidth-bound HPCG model
+  (the co-located victim application of Table IV).
+* :mod:`repro.workloads.openfoam` — the OpenFOAM decompose-then-solve
+  workflow of Table V.
+* :mod:`repro.workloads.background` — stochastic competing PFS load
+  (the cross-application interference of Fig. 1).
+"""
+
+from repro.workloads.app import (
+    compute_only, produce_files, consume_files, phased_program,
+)
+from repro.workloads.synthetic import (
+    SyntheticWorkflowConfig, producer_spec, consumer_spec,
+)
+from repro.workloads.hpcg import HpcgConfig, hpcg_program, hpcg_spec
+from repro.workloads.openfoam import (
+    OpenFoamConfig, decompose_spec, solver_spec,
+)
+from repro.workloads.background import BackgroundLoad, BackgroundLoadConfig
+
+__all__ = [
+    "compute_only", "produce_files", "consume_files", "phased_program",
+    "SyntheticWorkflowConfig", "producer_spec", "consumer_spec",
+    "HpcgConfig", "hpcg_program", "hpcg_spec",
+    "OpenFoamConfig", "decompose_spec", "solver_spec",
+    "BackgroundLoad", "BackgroundLoadConfig",
+]

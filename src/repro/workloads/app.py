@@ -1,0 +1,83 @@
+"""Reusable job-step program building blocks.
+
+A *program* is a callable taking a
+:class:`~repro.slurm.job.StepContext` and returning a simulation
+generator — the Python stand-in for the executable a batch script would
+``srun``.  These factories compose the phase structures the paper's
+workloads share: compute, produce files, consume files.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+__all__ = ["compute_only", "produce_files", "consume_files",
+           "phased_program"]
+
+
+def compute_only(seconds: float):
+    """A pure compute phase of fixed duration."""
+
+    def program(ctx):
+        yield ctx.compute(seconds)
+
+    return program
+
+
+def produce_files(nsid: str, directory: str, n_files: int,
+                  file_size: int, compute_seconds: float = 0.0,
+                  interleave: bool = False, token_prefix: str = ""):
+    """Produce ``n_files`` of ``file_size`` bytes under ``directory``.
+
+    With ``interleave`` the compute budget is spread between writes
+    (compute/write/compute/... as a real producer does); otherwise all
+    compute happens first.  File names carry the writing rank so
+    multi-node producers don't collide.
+    """
+
+    def program(ctx):
+        per_phase = compute_seconds / n_files if interleave and n_files else 0
+        if not interleave and compute_seconds:
+            yield ctx.compute(compute_seconds)
+        for i in range(n_files):
+            if interleave and per_phase:
+                yield ctx.compute(per_phase)
+            path = f"{directory.rstrip('/')}/r{ctx.rank}_f{i}.dat"
+            token = f"{token_prefix}{ctx.rank}:{i}" if token_prefix else None
+            yield ctx.write(nsid, path, file_size, token=token)
+
+    return program
+
+
+def consume_files(nsid: str, directory: str, n_files: int,
+                  producer_rank: Optional[int] = None,
+                  compute_seconds: float = 0.0,
+                  interleave: bool = False):
+    """Read back the files a producer wrote (same naming convention).
+
+    ``producer_rank`` pins the rank whose files are read (defaults to
+    the consumer's own rank, the common same-shape-job case).
+    """
+
+    def program(ctx):
+        rank = producer_rank if producer_rank is not None else ctx.rank
+        per_phase = compute_seconds / n_files if interleave and n_files else 0
+        for i in range(n_files):
+            path = f"{directory.rstrip('/')}/r{rank}_f{i}.dat"
+            yield ctx.read(nsid, path)
+            if interleave and per_phase:
+                yield ctx.compute(per_phase)
+        if not interleave and compute_seconds:
+            yield ctx.compute(compute_seconds)
+
+    return program
+
+
+def phased_program(*phases: Callable):
+    """Chain several programs into one (run sequentially per step)."""
+
+    def program(ctx):
+        for phase in phases:
+            yield ctx.sim.process(phase(ctx), name=f"phase:{ctx.node}")
+
+    return program

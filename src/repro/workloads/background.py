@@ -1,0 +1,103 @@
+"""Stochastic competing PFS load — the Fig. 1 interference source.
+
+"The only difference between any one data point using the same number
+of writers is the amount of other network communication and filesystem
+traffic occurring at the same time as the benchmark is being
+undertaken."
+
+The generator runs as a set of independent *tenant* processes, each
+repeatedly sleeping for an exponential think time and then issuing a
+burst (log-normally sized) of reads or writes against a random slice of
+the PFS's OSTs.  Because every burst is just more flows through the
+same constraints, foreground benchmarks observe exactly the
+uncoordinated bandwidth stealing real production systems exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimError
+from repro.sim.core import Simulator
+from repro.storage.pfs import ParallelFileSystem
+from repro.util.units import GB, GiB
+
+__all__ = ["BackgroundLoadConfig", "BackgroundLoad"]
+
+
+@dataclass(frozen=True)
+class BackgroundLoadConfig:
+    """Shape of the competing load."""
+
+    tenants: int = 8
+    mean_think_seconds: float = 4.0
+    #: log-normal burst size parameters (of the underlying normal).
+    burst_log_mean: float = np.log(8 * GB)
+    burst_log_sigma: float = 1.0
+    read_fraction: float = 0.4
+    #: Each burst touches this many randomly chosen OSTs.
+    osts_per_burst: int = 4
+    #: Maximum per-OST stream parallelism of a burst (a wide parallel
+    #: job piles many file-per-process streams onto each OST).
+    max_burst_width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tenants < 0:
+            raise SimError("tenants must be non-negative")
+        if not 0 <= self.read_fraction <= 1:
+            raise SimError("read_fraction must be in [0, 1]")
+        if self.max_burst_width < 1:
+            raise SimError("max_burst_width must be >= 1")
+
+
+class BackgroundLoad:
+    """Drives tenant processes against one PFS instance."""
+
+    def __init__(self, sim: Simulator, pfs: ParallelFileSystem,
+                 rng: np.random.Generator,
+                 config: BackgroundLoadConfig = BackgroundLoadConfig()) -> None:
+        self.sim = sim
+        self.pfs = pfs
+        self.rng = rng
+        self.config = config
+        self.active = False
+        self.bursts_issued = 0
+        self.bytes_issued = 0.0
+        self._procs: list = []
+
+    def start(self) -> None:
+        """Begin generating load (idempotent)."""
+        if self.active:
+            return
+        self.active = True
+        self._procs = [
+            self.sim.process(self._tenant(i), name=f"bg:tenant{i}")
+            for i in range(self.config.tenants)
+        ]
+
+    def stop(self) -> None:
+        """Stop issuing new bursts (in-flight bursts drain naturally)."""
+        self.active = False
+
+    def _tenant(self, index: int):
+        cfg = self.config
+        n_osts = self.pfs.config.n_osts
+        # Tenants represent applications already running when the
+        # foreground starts: burst first, think afterwards.
+        while self.active:
+            size = float(self.rng.lognormal(cfg.burst_log_mean,
+                                            cfg.burst_log_sigma))
+            write = self.rng.random() >= cfg.read_fraction
+            k = min(cfg.osts_per_burst, n_osts)
+            osts = self.rng.choice(n_osts, size=k, replace=False)
+            width = int(self.rng.integers(1, cfg.max_burst_width + 1))
+            self.bursts_issued += 1
+            self.bytes_issued += size
+            # Fire-and-forget: the burst contends until it drains.
+            self.pfs.inject_load(size, write=write,
+                                 osts=[int(o) for o in osts],
+                                 width=width)
+            think = self.rng.exponential(cfg.mean_think_seconds)
+            yield self.sim.timeout(think)

@@ -1,0 +1,110 @@
+"""The synthetic producer/consumer workflow benchmark (Tables III-IV).
+
+"We created a synthetic workflow benchmark that has a producer and a
+consumer of data, configurable to produce a range of files with a range
+of different sizes.  We can run this benchmark either targeting the
+Lustre filesystem or the NVMs on each compute node ..."
+
+Three modes mirror the paper's three configurations:
+
+* ``lustre``    — producer and consumer on *different* nodes, both doing
+  their I/O against the PFS (the baseline rows of Table III);
+* ``nvm``       — both phases on the *same* node, data held in the
+  node-local NVM between them (persist store + data-aware placement);
+* ``nvm-staged``— different nodes: the producer's output is staged out
+  to the PFS after production and pre-staged onto the consumer's node
+  before consumption (the Table IV configuration, whose staging windows
+  are where HPCG interference is measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SlurmError
+from repro.slurm.job import JobSpec, PersistDirective, StageDirective
+from repro.workloads.app import consume_files, produce_files
+from repro.util.units import GB
+
+__all__ = ["SyntheticWorkflowConfig", "producer_spec", "consumer_spec"]
+
+_MODES = ("lustre", "nvm", "nvm-staged")
+
+
+@dataclass(frozen=True)
+class SyntheticWorkflowConfig:
+    """Knobs of the synthetic workflow (defaults = the paper's run)."""
+
+    total_bytes: int = 100 * GB
+    n_files: int = 50
+    #: Compute embedded in each phase, fitted so the Table III numbers
+    #: come out on the NEXTGenIO preset (see calibration.py).
+    producer_compute: float = 25.5
+    consumer_compute: float = 13.3
+    data_dir: str = "/workflow/data"
+    pfs_dir: str = "/proj/workflow"
+    mode: str = "nvm"
+    user: str = "alice"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise SlurmError(f"mode must be one of {_MODES}")
+        if self.total_bytes <= 0 or self.n_files <= 0:
+            raise SlurmError("sizes must be positive")
+
+    @property
+    def file_size(self) -> int:
+        return self.total_bytes // self.n_files
+
+    @property
+    def io_nsid(self) -> str:
+        return "lustre://" if self.mode == "lustre" else "nvme0://"
+
+    @property
+    def io_dir(self) -> str:
+        return self.pfs_dir if self.mode == "lustre" else self.data_dir
+
+
+def producer_spec(cfg: SyntheticWorkflowConfig) -> JobSpec:
+    """The producer phase job."""
+    program = produce_files(cfg.io_nsid, cfg.io_dir, cfg.n_files,
+                            cfg.file_size,
+                            compute_seconds=cfg.producer_compute,
+                            interleave=True, token_prefix="wf")
+    stage_out = ()
+    persist = ()
+    if cfg.mode == "nvm":
+        persist = (PersistDirective("store",
+                                    f"nvme0://{cfg.data_dir.lstrip('/')}"),)
+    elif cfg.mode == "nvm-staged":
+        stage_out = (StageDirective(
+            "stage_out", f"nvme0://{cfg.data_dir.lstrip('/')}",
+            f"lustre://{cfg.pfs_dir.lstrip('/')}", "gather"),)
+    return JobSpec(name="producer", nodes=1, user=cfg.user,
+                   workflow_start=True, program=program,
+                   stage_out=stage_out, persist=persist,
+                   time_limit=7200.0)
+
+
+def consumer_spec(cfg: SyntheticWorkflowConfig,
+                  producer_job_id: int) -> JobSpec:
+    """The consumer phase job (depends on the producer)."""
+    program = consume_files(cfg.io_nsid, cfg.io_dir, cfg.n_files,
+                            producer_rank=0,
+                            compute_seconds=cfg.consumer_compute,
+                            interleave=True)
+    stage_in = ()
+    persist = ()
+    if cfg.mode == "nvm-staged":
+        stage_in = (StageDirective(
+            "stage_in", f"lustre://{cfg.pfs_dir.lstrip('/')}",
+            f"nvme0://{cfg.data_dir.lstrip('/')}", "single"),)
+    elif cfg.mode == "nvm":
+        # Clean the persisted location up after consumption.
+        persist = (PersistDirective("delete",
+                                    f"nvme0://{cfg.data_dir.lstrip('/')}"),)
+    return JobSpec(name="consumer", nodes=1, user=cfg.user,
+                   workflow_prior_dependency=producer_job_id,
+                   workflow_end=True, program=program,
+                   stage_in=stage_in, persist=persist,
+                   time_limit=7200.0)

@@ -1,0 +1,99 @@
+"""Smoke tests for the experiment modules (quick mode, small params).
+
+The slow panels (Fig. 1, Fig. 4) are exercised by the benchmark suite;
+here we run the fast ones end to end and check the paper's qualitative
+findings hold, plus the report plumbing.
+"""
+
+import pytest
+
+from repro.experiments import calibration, compare_table
+from repro.experiments.harness import ExperimentResult
+from repro.util import GiB
+
+
+class TestHarness:
+    def test_result_table_rendering(self):
+        r = ExperimentResult("fig0", "demo", headers=("a", "b"))
+        r.add_row(1, 2.5)
+        r.notes.append("hello")
+        text = r.table()
+        assert "fig0" in text and "hello" in text
+
+    def test_compare_table_ratios(self):
+        r = ExperimentResult("fig4", "demo", headers=("x",))
+        r.metrics["peak_local_rps"] = 700_000.0
+        text = compare_table(r)
+        assert "1.00x" in text
+
+    def test_calibration_covers_all_experiments(self):
+        for exp_id in ("fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7",
+                       "fig8", "table3", "table4", "table5"):
+            assert exp_id in calibration.PAPER
+
+
+class TestFig5:
+    def test_remote_rps_saturates_near_paper(self):
+        from repro.experiments import fig5_remote_requests
+        r = fig5_remote_requests.run(quick=True, requests_per_client=32)
+        assert 30_000 < r.metrics["peak_remote_rps"] < 80_000
+
+
+class TestFig67:
+    def test_read_per_client_cap(self):
+        from repro.experiments import fig67_transfer_rates
+        r = fig67_transfer_rates.run_direction("read", quick=True)
+        assert r.metrics["per_client_bandwidth"] == \
+            pytest.approx(1.70 * GiB, rel=0.02)
+
+    def test_write_per_client_cap(self):
+        from repro.experiments import fig67_transfer_rates
+        r = fig67_transfer_rates.run_direction("write", quick=True)
+        assert r.metrics["per_client_bandwidth"] == \
+            pytest.approx(1.82 * GiB, rel=0.02)
+
+
+class TestFig8:
+    def test_nvm_beats_lustre_and_scales(self):
+        from repro.experiments import fig8_nvm_vs_lustre
+        r = fig8_nvm_vs_lustre.run(quick=True)
+        assert r.metrics["nvm_vs_lustre_at_scale"] > 3.0
+        assert r.metrics["nvm_scaling_factor"] == pytest.approx(8.0,
+                                                                rel=0.1)
+
+
+class TestTable3:
+    def test_phase_runtimes_match_paper(self):
+        from repro.experiments import table3_synthetic_workflow
+        r = table3_synthetic_workflow.run(quick=True)
+        assert r.metrics["producer_lustre"] == pytest.approx(96, rel=0.1)
+        assert r.metrics["consumer_lustre"] == pytest.approx(74, rel=0.1)
+        assert r.metrics["producer_nvm"] == pytest.approx(64, rel=0.1)
+        assert r.metrics["consumer_nvm"] == pytest.approx(30, rel=0.1)
+
+
+class TestTable4:
+    def test_hpcg_slowdown_emerges(self):
+        from repro.experiments import table4_staging_impact
+        r = table4_staging_impact.run(quick=True)
+        assert r.metrics["hpcg_no_activity"] == pytest.approx(122, rel=0.02)
+        assert r.metrics["hpcg_stage_out"] > 128
+        assert r.metrics["hpcg_stage_in"] > 128
+
+
+class TestTable5:
+    def test_workflow_shape(self):
+        from repro.experiments import table5_openfoam
+        r = table5_openfoam.run(quick=True)
+        assert r.metrics["solver_lustre"] > r.metrics["solver_nvm"] * 1.4
+        assert r.metrics["decompose_lustre"] > r.metrics["decompose_nvm"]
+        assert r.metrics["data_staging"] < 60
+
+
+class TestRunallRegistry:
+    def test_registry_modules_importable(self):
+        import importlib
+        from repro.experiments.runall import REGISTRY
+        for _name, modpath in REGISTRY:
+            mod = importlib.import_module(modpath)
+            assert hasattr(mod, "run")

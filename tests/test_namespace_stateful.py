@@ -1,0 +1,104 @@
+"""Stateful property test: the Namespace against a dict model.
+
+Hypothesis drives random sequences of create/unlink/rename operations
+against both the real namespace and a flat file-dict model; any
+divergence in *contents or totals* is a bug.  Directory existence is
+read back from the namespace itself (directories are an implementation
+artefact of paths; files are the contract).
+
+This harness caught two real bugs during development: ``rename`` used
+to let a directory silently overwrite an existing file, and renaming a
+directory *into its own subtree* detached it from the namespace (POSIX
+EINVAL).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import (
+    FileExists, IsADirectory, NoSuchFile, NotADirectory, StorageError,
+)
+from repro.storage import FileContent, Namespace
+
+NAMES = ("a", "b", "c", "dir1", "dir2")
+
+
+def path_strategy():
+    return st.lists(st.sampled_from(NAMES), min_size=1, max_size=3).map(
+        lambda parts: "/" + "/".join(parts))
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ns = Namespace()
+        self.model: dict[str, FileContent] = {}
+
+    @rule(path=path_strategy(), size=st.integers(0, 1000))
+    def create(self, path, size):
+        content = FileContent.synthesize(path, size)
+        try:
+            self.ns.create(path, content)
+            self.model[path] = content
+        except NotADirectory:
+            # Some ancestor component is a file.
+            parts = path.strip("/").split("/")
+            assert any("/" + "/".join(parts[:i]) in self.model
+                       for i in range(1, len(parts)))
+        except IsADirectory:
+            assert self.ns.is_dir(path)
+            assert path not in self.model
+
+    @rule(path=path_strategy())
+    def unlink(self, path):
+        try:
+            removed = self.ns.unlink(path)
+            assert self.model.pop(path) == removed
+        except (NoSuchFile, NotADirectory):
+            assert path not in self.model
+        except IsADirectory:
+            assert self.ns.is_dir(path)
+            assert path not in self.model
+
+    @rule(src=path_strategy(), dst=path_strategy())
+    def rename(self, src, dst):
+        try:
+            self.ns.rename(src, dst)
+        except (NoSuchFile, NotADirectory, IsADirectory, FileExists,
+                StorageError):
+            return
+        if src in self.model:
+            # File rename (possibly overwriting a destination file).
+            self.model[dst] = self.model.pop(src)
+        elif src != dst:
+            # Directory rename: the whole file subtree moves with it.
+            prefix = src.rstrip("/") + "/"
+            moved = {k: v for k, v in self.model.items()
+                     if k.startswith(prefix)}
+            for k, v in moved.items():
+                del self.model[k]
+                self.model[dst.rstrip("/") + "/" + k[len(prefix):]] = v
+
+    @invariant()
+    def contents_match(self):
+        actual = dict(self.ns.walk_files())
+        assert actual == self.model
+
+    @invariant()
+    def totals_match(self):
+        assert self.ns.total_bytes() == sum(c.size
+                                            for c in self.model.values())
+        assert self.ns.file_count() == len(self.model)
+        assert self.ns.is_empty() == (not self.model)
+
+    @invariant()
+    def files_are_not_dirs(self):
+        for path in self.model:
+            assert not self.ns.is_dir(path)
+            assert self.ns.exists(path)
+
+
+NamespaceMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None)
+TestNamespaceStateful = NamespaceMachine.TestCase

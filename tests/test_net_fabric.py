@@ -1,0 +1,99 @@
+"""Tests for the fabric model."""
+
+import pytest
+
+from repro.errors import AddressLookupError, SimError
+from repro.net import Fabric
+from repro.sim import Simulator
+from repro.util import GiB, MiB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    f = Fabric(sim, core_bandwidth=100 * GiB, base_latency=1e-6)
+    for i in range(4):
+        f.add_node(f"node{i}", nic_bandwidth=10 * GiB, membus_bandwidth=100 * GiB)
+    return f
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self, sim, fabric):
+        with pytest.raises(SimError):
+            fabric.add_node("node0", nic_bandwidth=GiB)
+
+    def test_unknown_node_lookup(self, fabric):
+        with pytest.raises(AddressLookupError):
+            fabric.port("ghost")
+        with pytest.raises(AddressLookupError):
+            fabric.latency("node0", "ghost")
+
+    def test_route_inter_node_crosses_three_constraints(self, fabric):
+        route = fabric.route("node0", "node1")
+        names = [c.name for c in route]
+        assert names == ["node0:egress", "fabric:core", "node1:ingress"]
+
+    def test_route_loopback_uses_membus(self, fabric):
+        route = fabric.route("node2", "node2")
+        assert [c.name for c in route] == ["node2:membus"]
+
+    def test_latency_zero_on_loopback(self, fabric):
+        assert fabric.latency("node1", "node1") == 0.0
+        assert fabric.latency("node0", "node1") == 1e-6
+
+    def test_contains_and_nodes(self, fabric):
+        assert "node0" in fabric and "ghost" not in fabric
+        assert fabric.nodes() == ["node0", "node1", "node2", "node3"]
+
+
+class TestTransfers:
+    def test_transfer_time_nic_bound(self, sim, fabric):
+        done = fabric.transfer("node0", "node1", 10 * GiB)
+        sim.run(done)
+        # 10 GiB over a 10 GiB/s NIC + 1us propagation.
+        assert sim.now == pytest.approx(1.0, rel=1e-5)
+
+    def test_incast_shares_target_ingress(self, sim, fabric):
+        # 3 senders into node3: its 10 GiB/s ingress is the bottleneck.
+        dones = [fabric.transfer(f"node{i}", "node3", 10 * GiB)
+                 for i in range(3)]
+        for d in dones:
+            sim.run(d)
+        assert sim.now == pytest.approx(3.0, rel=1e-5)
+
+    def test_disjoint_pairs_run_at_full_rate(self, sim, fabric):
+        d1 = fabric.transfer("node0", "node1", 10 * GiB)
+        d2 = fabric.transfer("node2", "node3", 10 * GiB)
+        sim.run(d1)
+        sim.run(d2)
+        assert sim.now == pytest.approx(1.0, rel=1e-5)
+
+    def test_core_can_bottleneck(self, sim):
+        f = Fabric(sim, core_bandwidth=5 * GiB)
+        f.add_node("a", nic_bandwidth=10 * GiB)
+        f.add_node("b", nic_bandwidth=10 * GiB)
+        done = f.transfer("a", "b", 5 * GiB)
+        sim.run(done)
+        assert sim.now == pytest.approx(1.0, rel=1e-4)
+
+    def test_extra_constraints_apply(self, sim, fabric):
+        from repro.sim import CapacityConstraint
+        slow_disk = CapacityConstraint("disk", 1 * GiB)
+        done = fabric.transfer("node0", "node1", 1 * GiB,
+                               extra_constraints=[slow_disk])
+        sim.run(done)
+        assert sim.now == pytest.approx(1.0, rel=1e-5)
+
+    def test_rate_cap_honoured(self, sim, fabric):
+        done = fabric.transfer("node0", "node1", 1 * GiB, rate_cap=0.5 * GiB)
+        sim.run(done)
+        assert sim.now == pytest.approx(2.0, rel=1e-5)
+
+    def test_loopback_uses_membus_speed(self, sim, fabric):
+        done = fabric.transfer("node0", "node0", 100 * GiB)
+        sim.run(done)
+        assert sim.now == pytest.approx(1.0, rel=1e-5)

@@ -1,0 +1,133 @@
+"""Tests for the future-work extensions: burst-buffer dataspaces and
+the observed-I/O-performance feedback channel."""
+
+import pytest
+
+from repro.norns import TaskStatus, TaskType
+from repro.norns.dataspace import BurstBufferBackend, Dataspace
+from repro.norns.resources import memory_region, posix_path
+from repro.storage import BurstBuffer, BurstBufferConfig
+from repro.util import GB, MB
+
+from tests.conftest import build_cluster, register_standard_dataspaces
+
+
+@pytest.fixture
+def cluster_with_bb():
+    """Two-node cluster with a bb:// dataspace registered via nornsctl."""
+    c = build_cluster(2)
+    bb = BurstBuffer(c.sim, BurstBufferConfig(n_io_nodes=2,
+                                              node_bandwidth=5 * GB),
+                     fabric=c.fabric)
+    for name in c.nodes:
+        register_standard_dataspaces(c, name)
+        node = c.nodes[name]
+        # Extend the node's mount table, then register through the API.
+        table = dict(node.urd._mount_table)
+        table["/bb"] = BurstBufferBackend(bb, name)
+        node.urd.set_mount_table(table)
+        ctl = c.ctl(name)
+
+        def reg(ctl=ctl):
+            yield from ctl.register_dataspace(
+                "bb://", ctl.backend_init("datawarp", "/bb"))
+            ctl.close()
+
+        c.run(reg())
+    return c, bb
+
+
+class TestBurstBufferDataspace:
+    def test_stage_out_to_burst_buffer(self, cluster_with_bb):
+        c, bb = cluster_with_bb
+        sim = c.sim
+        nvme = c.node("node0").mounts["nvme0"]
+        wc = sim.run(nvme.write_file("/out/ckpt.bin", 1 * GB, token="ck"))
+        ctl = c.ctl("node0")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.COPY,
+                                  posix_path("nvme0://", "/out/ckpt.bin"),
+                                  posix_path("bb://", "/stage/ckpt.bin"))
+            yield from ctl.submit(tsk)
+            return (yield from ctl.wait(tsk))
+
+        stats = c.run(go())
+        assert stats.status is TaskStatus.FINISHED
+        assert bb.ns.lookup("/stage/ckpt.bin") == wc
+
+    def test_stage_in_from_burst_buffer(self, cluster_with_bb):
+        c, bb = cluster_with_bb
+        sim = c.sim
+        wc = sim.run(bb.write("node0", "/in/data.bin", 500 * MB,
+                              token="d"))
+        ctl = c.ctl("node1")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.COPY,
+                                  posix_path("bb://", "/in/data.bin"),
+                                  posix_path("nvme0://", "/in/data.bin"))
+            yield from ctl.submit(tsk)
+            return (yield from ctl.wait(tsk))
+
+        stats = c.run(go())
+        assert stats.status is TaskStatus.FINISHED
+        assert c.node("node1").mounts["nvme0"].stat("/in/data.bin") == wc
+
+    def test_memory_offload_to_burst_buffer(self, cluster_with_bb):
+        c, bb = cluster_with_bb
+        ctl = c.ctl("node0")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.COPY, memory_region(200 * MB),
+                                  posix_path("bb://", "/m/buf.bin"))
+            yield from ctl.submit(tsk)
+            return (yield from ctl.wait(tsk))
+
+        stats = c.run(go())
+        assert stats.status is TaskStatus.FINISHED
+        assert bb.ns.exists("/m/buf.bin")
+
+
+class TestRateFeedback:
+    def test_rates_empty_before_any_transfer(self):
+        c = build_cluster(1)
+        register_standard_dataspaces(c, "node0")
+        ctl = c.ctl("node0")
+        rates = c.run(ctl.transfer_rates())
+        assert rates == {}
+
+    def test_observed_rates_reported_to_scheduler(self):
+        c = build_cluster(1)
+        register_standard_dataspaces(c, "node0")
+        sim = c.sim
+        sim.run(c.pfs.write("node0", "/in/f.dat", 2 * GB, token="f"))
+        ctl = c.ctl("node0")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.COPY,
+                                  posix_path("lustre://", "/in/f.dat"),
+                                  posix_path("nvme0://", "/f.dat"))
+            yield from ctl.submit(tsk)
+            yield from ctl.wait(tsk)
+            return (yield from ctl.transfer_rates())
+
+        rates = c.run(go())
+        assert ("shared", "local") in rates
+        # The stage-in route's rate reflects the slowest constraint on
+        # that path (here the DCPMM write side of the test rig).
+        assert 1.0e9 < rates[("shared", "local")] < 3.0e9
+
+    def test_rates_restricted_to_control_socket(self):
+        from repro.errors import NornsAccessDenied
+        from repro.wire import norns_proto as proto
+        c = build_cluster(1)
+        register_standard_dataspaces(c, "node0")
+        client = c.user_client("node0", pid=1)
+
+        def attempt():
+            resp = yield from client._roundtrip(
+                proto.CommandRequest(command="report-rates"))
+            return resp.error_code
+
+        assert c.run(attempt()) == proto.ERR_ACCESSDENIED

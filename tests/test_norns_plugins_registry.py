@@ -1,0 +1,66 @@
+"""Plugin registry and kind-resolution unit tests."""
+
+import pytest
+
+from repro.errors import NornsNoPlugin
+from repro.norns.plugins import default_registry
+from repro.norns.plugins.base import (
+    PluginRegistry, TransferPlugin, resource_kind,
+)
+from repro.norns import Controller, Dataspace, LocalBackend
+from repro.norns.resources import memory_region, posix_path, remote_path
+from repro.sim import FlowScheduler, Simulator
+from repro.storage import BlockDevice, Mount, PROFILES
+from repro.util import GB
+
+
+class TestRegistry:
+    def test_default_registry_covers_table_ii_and_staging(self):
+        reg = default_registry()
+        expected = {
+            ("memory", "local"), ("local", "local"),
+            ("local", "remote"), ("remote", "local"),
+            ("memory", "remote"), ("remote", "memory"),
+            ("shared", "local"), ("local", "shared"),
+            ("memory", "shared"),
+        }
+        assert set(reg.keys()) == expected
+
+    def test_duplicate_registration_rejected(self):
+        class P(TransferPlugin):
+            key = ("memory", "local")
+
+        reg = default_registry()
+        with pytest.raises(NornsNoPlugin):
+            reg.register(P())
+
+    def test_missing_pair_raises(self):
+        reg = PluginRegistry()
+        with pytest.raises(NornsNoPlugin):
+            reg.lookup("shared", "shared")
+
+
+class TestKindResolution:
+    def make_controller(self):
+        sim = Simulator()
+        flows = FlowScheduler(sim)
+        ctrl = Controller()
+        mount = Mount(sim, BlockDevice(sim, flows, PROFILES["nvme"],
+                                       10 * GB))
+        ctrl.register_dataspace(Dataspace("nvme0://",
+                                          LocalBackend(mount)))
+        return ctrl
+
+    def test_kinds(self):
+        ctrl = self.make_controller()
+        assert resource_kind(ctrl, memory_region(1)) == "memory"
+        assert resource_kind(ctrl, posix_path("nvme0://", "/x")) == "local"
+        assert resource_kind(ctrl,
+                             remote_path("n1", "nvme0://", "/x")) == "remote"
+        assert resource_kind(ctrl, None) is None
+
+    def test_unknown_dataspace_raises(self):
+        from repro.errors import NornsDataspaceNotFound
+        ctrl = self.make_controller()
+        with pytest.raises(NornsDataspaceNotFound):
+            resource_kind(ctrl, posix_path("ghost://", "/x"))

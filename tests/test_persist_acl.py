@@ -1,0 +1,73 @@
+"""End-to-end persist share/unshare ACL enforcement at staging time."""
+
+import pytest
+
+from repro.slurm import JobState
+from repro.slurm.job import JobSpec, PersistDirective, StageDirective
+from repro.util import MB
+
+from tests.conftest import build_slurm_cluster
+
+
+def producer_spec(user="alice", share_with=None):
+    def writer(ctx):
+        yield ctx.write("nvme0://", "/published/data.bin", 50 * MB)
+
+    persist = [PersistDirective("store", "nvme0://published/")]
+    if share_with:
+        persist.append(PersistDirective("share", "nvme0://published/",
+                                        share_with))
+    return JobSpec(name="publisher", nodes=1, user=user,
+                   program=writer, persist=tuple(persist))
+
+
+def consumer_spec(user, producer):
+    def reader(ctx):
+        yield ctx.read("nvme0://", "/mine/data.bin")
+
+    return JobSpec(
+        name="subscriber", nodes=1, user=user, program=reader,
+        nodelist=producer.allocated_nodes,
+        stage_in=(StageDirective("stage_in", "nvme0://published/",
+                                 "nvme0://mine/", "single"),))
+
+
+class TestPersistAcl:
+    def test_shared_user_may_stage_from_persisted_location(self):
+        c, ctld = build_slurm_cluster(2)
+        producer = ctld.submit(producer_spec(share_with="bob"))
+        c.sim.run(producer.done)
+        consumer = ctld.submit(consumer_spec("bob", producer))
+        c.sim.run(consumer.done)
+        assert consumer.state is JobState.COMPLETED, consumer.reason
+
+    def test_stranger_denied_at_stage_in(self):
+        c, ctld = build_slurm_cluster(2)
+        producer = ctld.submit(producer_spec())  # no share
+        c.sim.run(producer.done)
+        consumer = ctld.submit(consumer_spec("mallory", producer))
+        c.sim.run(consumer.done)
+        assert consumer.state is JobState.FAILED
+        assert "may not access persisted location" in consumer.reason
+
+    def test_owner_always_allowed(self):
+        c, ctld = build_slurm_cluster(2)
+        producer = ctld.submit(producer_spec())
+        c.sim.run(producer.done)
+        consumer = ctld.submit(consumer_spec("alice", producer))
+        c.sim.run(consumer.done)
+        assert consumer.state is JobState.COMPLETED, consumer.reason
+
+    def test_unshare_revokes(self):
+        c, ctld = build_slurm_cluster(2)
+        producer = ctld.submit(producer_spec(share_with="bob"))
+        c.sim.run(producer.done)
+        revoke = ctld.submit(JobSpec(
+            name="revoker", nodes=1, user="alice",
+            program=lambda ctx: iter(ctx.compute(0.1) for _ in (0,)),
+            persist=(PersistDirective("unshare", "nvme0://published/",
+                                      "bob"),)))
+        c.sim.run(revoke.done)
+        consumer = ctld.submit(consumer_spec("bob", producer))
+        c.sim.run(consumer.done)
+        assert consumer.state is JobState.FAILED

@@ -1,0 +1,236 @@
+"""Unit tests for the DES kernel (Simulator/Event/Process)."""
+
+import pytest
+
+from repro.errors import Interrupted, InvalidEventState, SimError, SimulationEnded
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        sim.run()
+        assert ev.processed and ev.ok and ev.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(InvalidEventState):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(InvalidEventState):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(InvalidEventState):
+            _ = ev.value
+
+    def test_callback_after_processed_fires_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["x"]
+
+    def test_unhandled_failed_event_raises_from_run(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        t = sim.timeout(5.0)
+        sim.run(t)
+        assert sim.now == 5.0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimError):
+            sim.timeout(-1)
+
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+        for d in (3.0, 1.0, 2.0):
+            sim.timeout(d, value=d).add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for i in range(5):
+            sim.timeout(1.0, value=i).add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_process_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        p = sim.process(proc())
+        assert sim.run(p) == "done"
+        assert sim.now == 1
+
+    def test_process_sees_event_value(self, sim):
+        def proc():
+            v = yield sim.timeout(2, value="payload")
+            return v
+
+        assert sim.run(sim.process(proc())) == "payload"
+
+    def test_nested_processes_compose(self, sim):
+        def child():
+            yield sim.timeout(3)
+            return 7
+
+        def parent():
+            v = yield sim.process(child())
+            return v * 2
+
+        assert sim.run(sim.process(parent())) == 14
+        assert sim.now == 3
+
+    def test_exception_propagates_through_yield(self, sim):
+        def failing():
+            yield sim.timeout(1)
+            raise RuntimeError("inner")
+
+        def catching():
+            try:
+                yield sim.process(failing())
+            except RuntimeError as e:
+                return f"caught {e}"
+
+        assert sim.run(sim.process(catching())) == "caught inner"
+
+    def test_uncaught_process_exception_surfaces_at_run(self, sim):
+        def failing():
+            yield sim.timeout(1)
+            raise KeyError("k")
+
+        p = sim.process(failing())
+        with pytest.raises(KeyError):
+            sim.run(p)
+
+    def test_yield_non_event_fails_process(self, sim):
+        def bad():
+            yield 42
+
+        p = sim.process(bad())
+        with pytest.raises(SimError, match="must yield Event"):
+            sim.run(p)
+
+    def test_yield_already_processed_event_continues_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("v")
+        sim.run()
+
+        def proc():
+            x = yield ev
+            return x
+
+        assert sim.run(sim.process(proc())) == "v"
+        assert sim.now == 0
+
+    def test_interrupt_raises_inside_process(self, sim):
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupted as i:
+                log.append(i.cause)
+            yield sim.timeout(1)
+            return "recovered"
+
+        def attacker(v):
+            yield sim.timeout(5)
+            v.interrupt(cause="preempt")
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        assert sim.run(v) == "recovered"
+        assert log == ["preempt"]
+        assert sim.now == 6
+
+    def test_interrupt_dead_process_is_error(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        p = sim.process(quick())
+        sim.run(p)
+        with pytest.raises(SimError):
+            p.interrupt()
+
+    def test_is_alive_lifecycle(self, sim):
+        def proc():
+            yield sim.timeout(1)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run(p)
+        assert not p.is_alive
+
+
+class TestSimulatorRun:
+    def test_run_until_time(self, sim):
+        hits = []
+        sim.timeout(1).add_callback(lambda e: hits.append(1))
+        sim.timeout(10).add_callback(lambda e: hits.append(10))
+        sim.run(until=5)
+        assert hits == [1]
+        assert sim.now == 5
+
+    def test_run_until_past_raises(self, sim):
+        sim.run(until=5)
+        with pytest.raises(SimError):
+            sim.run(until=1)
+
+    def test_step_on_empty_calendar_raises(self, sim):
+        with pytest.raises(SimulationEnded):
+            sim.step()
+
+    def test_run_until_event_that_never_fires(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationEnded):
+            sim.run(ev)
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_event_count_increments(self, sim):
+        sim.timeout(1)
+        sim.timeout(2)
+        sim.run()
+        assert sim.event_count == 2
+
+    def test_determinism_same_seeded_program(self):
+        def run_once():
+            s = Simulator()
+            trace = []
+
+            def proc(i):
+                yield s.timeout(0.1 * i)
+                trace.append((s.now, i))
+                yield s.timeout(1)
+                trace.append((s.now, i))
+
+            for i in range(10):
+                s.process(proc(i))
+            s.run()
+            return trace
+
+        assert run_once() == run_once()

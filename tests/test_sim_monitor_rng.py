@@ -1,0 +1,80 @@
+"""Tests for the monitoring probes and seeded RNG registry."""
+
+import pytest
+
+from repro.sim import Monitor, RngRegistry, Simulator
+
+
+class TestCounter:
+    def test_rate(self):
+        sim = Simulator()
+        mon = Monitor(sim)
+        c = mon.counter("requests")
+        c.incr(10)
+        sim.run(until=2.0)
+        assert c.rate(sim.now) == pytest.approx(5.0)
+
+    def test_rate_zero_time(self):
+        sim = Simulator()
+        c = Monitor(sim).counter("x")
+        c.incr()
+        assert c.rate(sim.now) == 0.0
+
+    def test_counter_identity(self):
+        mon = Monitor(Simulator())
+        assert mon.counter("a") is mon.counter("a")
+        assert mon.counters() == {"a": 0}
+
+
+class TestTimeSeries:
+    def test_sampling_and_stats(self):
+        sim = Simulator()
+        mon = Monitor(sim)
+        for t, v in ((0.0, 1.0), (1.0, 3.0), (2.0, 2.0)):
+            sim.run(until=t)
+            mon.sample("bw", v)
+        s = mon.get_series("bw")
+        assert len(s) == 3
+        assert s.mean() == pytest.approx(2.0)
+        assert s.median() == pytest.approx(2.0)
+        assert s.min() == 1.0 and s.max() == 3.0
+        assert s.sum() == pytest.approx(6.0)
+        assert s.percentile(50) == pytest.approx(2.0)
+
+    def test_empty_series_nan(self):
+        import math
+        s = Monitor(Simulator()).series("empty")
+        assert math.isnan(s.mean()) and math.isnan(s.median())
+
+    def test_series_names(self):
+        mon = Monitor(Simulator())
+        mon.series("b")
+        mon.series("a")
+        assert mon.series_names() == ("a", "b")
+        assert mon.get_series("zzz") is None
+
+
+class TestRngRegistry:
+    def test_streams_are_independent_and_stable(self):
+        r1, r2 = RngRegistry(5), RngRegistry(5)
+        a = r1.stream("alpha").random(4).tolist()
+        # Creating another stream first must not perturb 'alpha'.
+        r2.stream("beta").random(10)
+        b = r2.stream("alpha").random(4).tolist()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random(4).tolist()
+        b = RngRegistry(2).stream("x").random(4).tolist()
+        assert a != b
+
+    def test_same_name_returns_same_stream(self):
+        reg = RngRegistry(0)
+        assert reg.stream("s") is reg.stream("s")
+
+    def test_reset_recreates(self):
+        reg = RngRegistry(0)
+        first = reg.stream("s").random(3).tolist()
+        reg.reset()
+        again = reg.stream("s").random(3).tolist()
+        assert first == again

@@ -1,0 +1,91 @@
+"""Tests for condition events (all_of / any_of) and Timeout alias."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import Simulator, Timeout, all_of, any_of
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(5, "slow"), sim.timeout(1, "fast")
+        cond = any_of(sim, [t1, t2])
+        result = sim.run(cond)
+        assert sim.now == 1
+        assert list(result.values()) == ["fast"]
+
+    def test_identifies_winner(self, sim):
+        slow, fast = sim.timeout(5), sim.timeout(2)
+        cond = any_of(sim, [slow, fast])
+        result = sim.run(cond)
+        assert fast in result and slow not in result
+
+    def test_empty_fires_immediately(self, sim):
+        cond = any_of(sim, [])
+        assert sim.run(cond) == {}
+        assert sim.now == 0
+
+    def test_failure_propagates(self, sim):
+        ok = sim.timeout(5)
+        bad = sim.event()
+        bad.fail(RuntimeError("x"), delay=1)
+        cond = any_of(sim, [ok, bad])
+        with pytest.raises(RuntimeError):
+            sim.run(cond)
+
+    def test_usable_from_process_for_timeout_pattern(self, sim):
+        # The Slurm staging pattern: wait for transfer OR timeout.
+        def stage():
+            transfer = sim.timeout(10, "done")
+            deadline = sim.timeout(3, "timeout")
+            fired = yield any_of(sim, [transfer, deadline])
+            return "timed-out" if deadline in fired else "ok"
+
+        assert sim.run(sim.process(stage())) == "timed-out"
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        evs = [sim.timeout(d, d) for d in (1, 4, 2)]
+        cond = all_of(sim, evs)
+        result = sim.run(cond)
+        assert sim.now == 4
+        assert sorted(result.values()) == [1, 2, 4]
+
+    def test_empty_fires_immediately(self, sim):
+        assert sim.run(all_of(sim, [])) == {}
+
+    def test_fails_fast(self, sim):
+        slow = sim.timeout(100)
+        bad = sim.event()
+        bad.fail(ValueError("nope"), delay=1)
+        cond = all_of(sim, [slow, bad])
+        with pytest.raises(ValueError):
+            sim.run(cond)
+        assert sim.now == 1
+
+    def test_already_fired_children(self, sim):
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+        later = sim.timeout(2, "late")
+        cond = all_of(sim, [done, later])
+        result = sim.run(cond)
+        assert set(result.values()) == {"early", "late"}
+
+
+class TestTimeoutAlias:
+    def test_alias_matches_method(self, sim):
+        t = Timeout(sim, 2.5, value="v")
+        assert sim.run(t) == "v"
+        assert sim.now == 2.5
+
+    def test_need_out_of_range(self, sim):
+        from repro.sim.primitives import Condition
+        with pytest.raises(SimError):
+            Condition(sim, [sim.timeout(1)], need=5)

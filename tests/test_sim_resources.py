@@ -1,0 +1,204 @@
+"""Tests for Resource / Store / Container."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import Container, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        sim.run(until=0)
+        assert r1.triggered and r2.triggered and not r3.triggered
+        assert res.in_use == 2 and res.queue_len == 1
+
+    def test_release_wakes_fifo_waiter(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(i, hold):
+            req = res.request()
+            yield req
+            order.append(("acq", i))
+            yield sim.timeout(hold)
+            res.release()
+            order.append(("rel", i))
+
+        for i in range(3):
+            sim.process(worker(i, 1.0))
+        sim.run()
+        assert order == [("acq", 0), ("rel", 0), ("acq", 1),
+                         ("rel", 1), ("acq", 2), ("rel", 2)]
+
+    def test_release_idle_raises(self, sim):
+        with pytest.raises(SimError):
+            Resource(sim).release()
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimError):
+            Resource(sim, capacity=0)
+
+    def test_cancel_pending_request(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        sim.run(until=0)
+        res.cancel(second)
+        res.release()
+        assert res.in_use == 0
+        assert first.triggered
+
+
+class TestStore:
+    def test_fifo_order(self, sim):
+        st = Store(sim)
+        for i in range(3):
+            st.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                v = yield st.get()
+                got.append(v)
+
+        sim.run(sim.process(consumer()))
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, sim):
+        st = Store(sim)
+        got = []
+
+        def consumer():
+            v = yield st.get()
+            got.append((sim.now, v))
+
+        def producer():
+            yield sim.timeout(5)
+            yield st.put("item")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(5, "item")]
+
+    def test_bounded_put_blocks(self, sim):
+        st = Store(sim, capacity=1)
+        timeline = []
+
+        def producer():
+            yield st.put("a")
+            timeline.append(("put-a", sim.now))
+            yield st.put("b")
+            timeline.append(("put-b", sim.now))
+
+        def consumer():
+            yield sim.timeout(3)
+            v = yield st.get()
+            timeline.append((f"got-{v}", sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-a", 0) in timeline
+        assert ("put-b", 3) in timeline  # unblocked by the get at t=3
+
+    def test_priority_store_orders_by_priority(self, sim):
+        st = Store(sim, priority=True)
+        st.put((5, "low"))
+        st.put((1, "high"))
+        st.put((3, "mid"))
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                v = yield st.get()
+                got.append(v)
+
+        sim.run(sim.process(consumer()))
+        assert got == ["high", "mid", "low"]
+
+    def test_priority_ties_fifo(self, sim):
+        st = Store(sim, priority=True)
+        for i in range(4):
+            st.put((1, i))
+        assert st.items == [0, 1, 2, 3]
+
+    def test_try_get(self, sim):
+        st = Store(sim)
+        assert st.try_get() == (False, None)
+        st.put("x")
+        sim.run(until=0)
+        assert st.try_get() == (True, "x")
+
+    def test_len_and_items(self, sim):
+        st = Store(sim)
+        st.put("a")
+        st.put("b")
+        assert len(st) == 2
+        assert st.items == ["a", "b"]
+
+
+class TestContainer:
+    def test_basic_level_accounting(self, sim):
+        c = Container(sim, capacity=100, init=50)
+        c.get(20)
+        c.put(30)
+        sim.run(until=0)
+        assert c.level == 60
+
+    def test_get_blocks_until_enough(self, sim):
+        c = Container(sim, capacity=100, init=0)
+        got = []
+
+        def taker():
+            yield c.get(10)
+            got.append(sim.now)
+
+        def filler():
+            yield sim.timeout(2)
+            yield c.put(5)
+            yield sim.timeout(2)
+            yield c.put(5)
+
+        sim.process(taker())
+        sim.process(filler())
+        sim.run()
+        assert got == [4]
+
+    def test_put_blocks_at_capacity(self, sim):
+        c = Container(sim, capacity=10, init=10)
+        done = []
+
+        def putter():
+            yield c.put(5)
+            done.append(sim.now)
+
+        def drainer():
+            yield sim.timeout(7)
+            yield c.get(8)
+
+        sim.process(putter())
+        sim.process(drainer())
+        sim.run()
+        assert done == [7]
+        assert c.level == 7
+
+    def test_validation(self, sim):
+        with pytest.raises(SimError):
+            Container(sim, capacity=0)
+        with pytest.raises(SimError):
+            Container(sim, capacity=10, init=20)
+        c = Container(sim, capacity=10)
+        with pytest.raises(SimError):
+            c.get(-1)
+        with pytest.raises(SimError):
+            c.get(11)
+        with pytest.raises(SimError):
+            c.put(-1)

@@ -1,0 +1,64 @@
+"""Cancellation of active jobs and node-release correctness."""
+
+import pytest
+
+from repro.slurm import JobState
+from repro.slurm.job import JobSpec, StageDirective
+from repro.util import GB, MB
+
+from tests.conftest import build_slurm_cluster
+
+
+class TestCancelRunning:
+    def test_cancel_running_job_interrupts_steps(self):
+        c, ctld = build_slurm_cluster(2)
+
+        def long_program(ctx):
+            yield ctx.compute(1000.0)
+
+        job = ctld.submit(JobSpec(name="victim", nodes=2,
+                                  program=long_program))
+        c.sim.run(until=10.0)
+        assert job.state is JobState.RUNNING
+        ctld.cancel(job.job_id, reason="operator scancel")
+        c.sim.run(job.done)
+        assert job.state is JobState.CANCELLED
+        assert job.reason == "operator scancel"
+        # slurmctld's jobctl process notices the dead steps and frees
+        # the nodes.
+        c.sim.run(until=c.sim.now + 1.0)
+        assert ctld.free_nodes == frozenset(c.nodes)
+
+    def test_squeue_reflects_states(self):
+        def five(ctx):
+            yield ctx.compute(5)
+
+        c, ctld = build_slurm_cluster(1)
+        a = ctld.submit(JobSpec(name="a", nodes=1, program=five))
+        b = ctld.submit(JobSpec(name="b", nodes=1, program=five))
+        c.sim.run(until=1.0)
+        states = dict((name, state) for _id, name, state in ctld.squeue())
+        assert states["a"] == "running"
+        assert states["b"] == "pending"
+        c.sim.run(b.done)
+        states = dict((name, state) for _id, name, state in ctld.squeue())
+        assert states == {"a": "completed", "b": "completed"}
+
+    def test_cancel_is_idempotent(self):
+        def five(ctx):
+            yield ctx.compute(5)
+
+        c, ctld = build_slurm_cluster(1)
+        job = ctld.submit(JobSpec(name="j", nodes=1, program=five))
+        ctld.cancel(job.job_id)
+        ctld.cancel(job.job_id)  # second cancel: no error
+        c.sim.run(job.done)
+        assert job.state is JobState.CANCELLED
+
+    def test_unknown_job_queries_raise(self):
+        from repro.errors import UnknownJob
+        c, ctld = build_slurm_cluster(1)
+        with pytest.raises(UnknownJob):
+            ctld.job(999999)
+        with pytest.raises(UnknownJob):
+            ctld.cancel(999999)

@@ -1,0 +1,64 @@
+"""Tests for the squeue/sacct/sworkflow/sinfo front ends."""
+
+import pytest
+
+from repro.slurm import JobSpec
+from repro.slurm.cli import sacct, sinfo, squeue, sworkflow
+
+from tests.conftest import build_slurm_cluster
+
+
+def compute(seconds):
+    def program(ctx):
+        yield ctx.compute(seconds)
+    return program
+
+
+@pytest.fixture
+def busy_cluster():
+    c, ctld = build_slurm_cluster(2)
+    a = ctld.submit(JobSpec(name="alpha", nodes=2, workflow_start=True,
+                            program=compute(30)))
+    b = ctld.submit(JobSpec(name="beta", nodes=1,
+                            workflow_prior_dependency=a.job_id,
+                            workflow_end=True, program=compute(5)))
+    c.sim.run(until=1.0)
+    return c, ctld, a, b
+
+
+class TestCli:
+    def test_squeue_shows_active_jobs(self, busy_cluster):
+        c, ctld, a, b = busy_cluster
+        out = squeue(ctld)
+        assert "alpha" in out and "running" in out
+        assert "beta" in out and "pending" in out
+        assert str(a.workflow_id) in out
+
+    def test_squeue_hides_terminal_jobs(self, busy_cluster):
+        c, ctld, a, b = busy_cluster
+        c.sim.run(b.done)
+        out = squeue(ctld)
+        assert "alpha" not in out and "beta" not in out
+
+    def test_sacct_reports_phases(self, busy_cluster):
+        c, ctld, a, b = busy_cluster
+        c.sim.run(b.done)
+        out = sacct(ctld)
+        assert "alpha" in out and "completed" in out
+        single = sacct(ctld, job_id=a.job_id)
+        assert "alpha" in single and "beta" not in single
+
+    def test_sworkflow_status(self, busy_cluster):
+        c, ctld, a, b = busy_cluster
+        out = sworkflow(ctld, a.workflow_id)
+        assert f"workflow {a.workflow_id}" in out
+        assert "alpha" in out and "beta" in out
+        c.sim.run(b.done)
+        assert "completed" in sworkflow(ctld, a.workflow_id)
+
+    def test_sinfo_states(self, busy_cluster):
+        c, ctld, a, b = busy_cluster
+        out = sinfo(ctld)
+        assert out.count("alloc") == 2  # alpha holds both nodes
+        c.sim.run(b.done)
+        assert sinfo(ctld).count("idle") == 2

@@ -1,0 +1,343 @@
+"""Integration tests: slurmctld end-to-end with NORNS staging."""
+
+import pytest
+
+from repro.slurm import JobState, SlurmConfig, WorkflowStatus
+from repro.slurm.job import JobSpec, StageDirective, PersistDirective
+from repro.util import GB, MB
+
+from tests.conftest import build_slurm_cluster
+
+
+def compute_program(seconds):
+    def program(ctx):
+        yield ctx.compute(seconds)
+    return program
+
+
+def writer_program(nsid, path, size, compute=0.0):
+    def program(ctx):
+        if compute:
+            yield ctx.compute(compute)
+        yield ctx.write(nsid, f"{path}/rank{ctx.rank}.dat", size)
+    return program
+
+
+def reader_program(nsid, path, ranks):
+    def program(ctx):
+        for r in range(ranks):
+            yield ctx.read(nsid, f"{path}/rank{r}.dat")
+    return program
+
+
+class TestBasicScheduling:
+    def test_single_job_completes(self):
+        c, ctld = build_slurm_cluster(2)
+        job = ctld.submit(JobSpec(name="hello", nodes=1,
+                                  program=compute_program(10.0)))
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        rec = ctld.accounting.get(job.job_id)
+        assert rec.run_seconds == pytest.approx(10.0, abs=0.5)
+        assert ctld.free_nodes == frozenset(c.nodes)
+
+    def test_jobs_queue_when_nodes_busy(self):
+        c, ctld = build_slurm_cluster(2)
+        a = ctld.submit(JobSpec(name="a", nodes=2,
+                                program=compute_program(10.0)))
+        b = ctld.submit(JobSpec(name="b", nodes=2,
+                                program=compute_program(5.0)))
+        c.sim.run(b.done)
+        rec_a = ctld.accounting.get(a.job_id)
+        rec_b = ctld.accounting.get(b.job_id)
+        assert rec_b.alloc_time >= rec_a.end_time - 1e-6
+
+    def test_backfill_small_job_jumps_queue(self):
+        c, ctld = build_slurm_cluster(4)
+        # Long job on 3 nodes; big job blocked; tiny short job backfills.
+        long = ctld.submit(JobSpec(name="long", nodes=3,
+                                   time_limit=1000, program=compute_program(900)))
+        big = ctld.submit(JobSpec(name="big", nodes=4, time_limit=100,
+                                  program=compute_program(50)))
+        tiny = ctld.submit(JobSpec(name="tiny", nodes=1, time_limit=60,
+                                   program=compute_program(30)))
+        c.sim.run(tiny.done)
+        # tiny completed long before the blocked big job could start.
+        assert tiny.state is JobState.COMPLETED
+        assert big.state is JobState.PENDING
+
+    def test_oversized_job_rejected(self):
+        from repro.errors import SlurmError
+        c, ctld = build_slurm_cluster(2)
+        with pytest.raises(SlurmError):
+            ctld.submit(JobSpec(name="huge", nodes=99))
+
+    def test_cancel_pending_job(self):
+        c, ctld = build_slurm_cluster(1)
+        a = ctld.submit(JobSpec(name="a", nodes=1,
+                                program=compute_program(50)))
+        b = ctld.submit(JobSpec(name="b", nodes=1,
+                                program=compute_program(50)))
+        ctld.cancel(b.job_id)
+        c.sim.run(a.done)
+        assert b.state is JobState.CANCELLED
+
+    def test_time_limit_enforced(self):
+        c, ctld = build_slurm_cluster(1)
+        job = ctld.submit(JobSpec(name="slow", nodes=1, time_limit=5.0,
+                                  program=compute_program(100.0)))
+        c.sim.run(job.done)
+        assert job.state is JobState.TIMEOUT
+
+    def test_environment_variables_exposed(self):
+        c, ctld = build_slurm_cluster(1)
+        seen = {}
+
+        def program(ctx):
+            seen["nvme"] = ctx.env("NVME0")
+            seen["lustre"] = ctx.env("LUSTRE")
+            yield ctx.compute(1)
+
+        job = ctld.submit(JobSpec(name="env", nodes=1, program=program))
+        c.sim.run(job.done)
+        assert seen == {"nvme": "nvme0://", "lustre": "lustre://"}
+
+
+class TestStaging:
+    def stage_in_spec(self, program, mapping="scatter", nodes=2):
+        return JobSpec(
+            name="staged", nodes=nodes, program=program,
+            stage_in=(StageDirective("stage_in", "lustre://proj/in/",
+                                     "nvme0://in/", mapping),))
+
+    def test_stage_in_scatter_distributes_files(self):
+        c, ctld = build_slurm_cluster(2)
+        sim = c.sim
+        for i in range(4):
+            sim.run(c.pfs.write("node0", f"/proj/in/f{i}.dat", 100 * MB))
+        job = ctld.submit(self.stage_in_spec(compute_program(1.0)))
+        sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        rec = ctld.accounting.get(job.job_id)
+        assert rec.bytes_staged_in == 400 * MB
+        assert rec.stage_in_seconds > 0
+
+    def test_stage_in_replicate_copies_everywhere(self):
+        c, ctld = build_slurm_cluster(2)
+        sim = c.sim
+        sim.run(c.pfs.write("node0", "/proj/in/mesh.dat", 100 * MB))
+        checked = []
+
+        def program(ctx):
+            checked.append((ctx.node, ctx.exists("nvme0://", "/in/mesh.dat")))
+            yield ctx.compute(0.1)
+
+        job = ctld.submit(self.stage_in_spec(program, mapping="replicate"))
+        sim.run(job.done)
+        assert sorted(checked) == [("node0", True), ("node1", True)]
+
+    def test_stage_in_missing_data_fails_job(self):
+        c, ctld = build_slurm_cluster(2)
+        job = ctld.submit(self.stage_in_spec(compute_program(1.0)))
+        c.sim.run(job.done)
+        assert job.state is JobState.FAILED
+        assert "stage-in failed" in job.reason
+
+    def test_stage_in_timeout_terminates_and_cleans(self):
+        c, ctld = build_slurm_cluster(2)
+        sim = c.sim
+        sim.run(c.pfs.write("node0", "/proj/in/huge.dat", 500 * GB))
+        spec = JobSpec(
+            name="impatient", nodes=2, program=compute_program(1.0),
+            staging_timeout=5.0,
+            stage_in=(StageDirective("stage_in", "lustre://proj/in/",
+                                     "nvme0://in/", "single"),))
+        job = ctld.submit(spec)
+        sim.run(job.done)
+        assert job.state is JobState.FAILED
+        assert "timeout" in job.reason
+        # Cleanup: nothing left in the node-local dataspaces.
+        for node in c.nodes.values():
+            assert node.mounts["nvme0"].is_empty()
+
+    def test_stage_out_persists_results_to_pfs(self):
+        c, ctld = build_slurm_cluster(2)
+        spec = JobSpec(
+            name="producer", nodes=2,
+            program=writer_program("nvme0://", "/out", 200 * MB),
+            stage_out=(StageDirective("stage_out", "nvme0://out/",
+                                      "lustre://proj/results/", "gather"),))
+        job = ctld.submit(spec)
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        assert c.pfs.ns.lookup("/proj/results/rank0.dat").size == 200 * MB
+        assert c.pfs.ns.lookup("/proj/results/rank1.dat").size == 200 * MB
+        rec = ctld.accounting.get(job.job_id)
+        assert rec.bytes_staged_out == 400 * MB
+
+    def test_cleanup_removes_job_data_after_stage_out(self):
+        c, ctld = build_slurm_cluster(1)
+        spec = JobSpec(
+            name="tidy", nodes=1,
+            program=writer_program("nvme0://", "/out", 50 * MB),
+            stage_out=(StageDirective("stage_out", "nvme0://out/",
+                                      "lustre://res/", "gather"),))
+        job = ctld.submit(spec)
+        c.sim.run(job.done)
+        assert c.nodes["node0"].mounts["nvme0"].is_empty()
+
+    def test_staging_disabled_baseline(self):
+        c, ctld = build_slurm_cluster(2, config=SlurmConfig(
+            staging_enabled=False))
+        sim = c.sim
+        sim.run(c.pfs.write("node0", "/proj/in/f.dat", 10 * MB))
+        job = ctld.submit(self.stage_in_spec(compute_program(1.0)))
+        sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        rec = ctld.accounting.get(job.job_id)
+        assert rec.bytes_staged_in == 0  # directives ignored
+
+
+class TestPersist:
+    def persist_producer(self, nodes=1):
+        return JobSpec(
+            name="producer", nodes=nodes, user="alice",
+            program=writer_program("nvme0://", "/shared", 100 * MB),
+            persist=(PersistDirective("store", "nvme0://shared/"),))
+
+    def test_persist_store_survives_cleanup(self):
+        c, ctld = build_slurm_cluster(1)
+        job = ctld.submit(self.persist_producer())
+        c.sim.run(job.done)
+        assert c.nodes["node0"].mounts["nvme0"].exists("/shared/rank0.dat")
+        entry = ctld.persist.entry("nvme0://", "/shared")
+        assert entry is not None and entry.owner == "alice"
+        assert entry.bytes_by_node["node0"] == 100 * MB
+
+    def test_persist_delete_removes_data(self):
+        c, ctld = build_slurm_cluster(1)
+        p = ctld.submit(self.persist_producer())
+        c.sim.run(p.done)
+        d = ctld.submit(JobSpec(
+            name="cleaner", nodes=1, user="alice",
+            program=compute_program(0.1),
+            persist=(PersistDirective("delete", "nvme0://shared/"),)))
+        c.sim.run(d.done)
+        assert ctld.persist.entry("nvme0://", "/shared") is None
+        assert c.nodes["node0"].mounts["nvme0"].is_empty()
+
+    def test_persist_share_and_unshare(self):
+        c, ctld = build_slurm_cluster(1)
+        p = ctld.submit(self.persist_producer())
+        c.sim.run(p.done)
+        s = ctld.submit(JobSpec(
+            name="sharer", nodes=1, user="alice",
+            program=compute_program(0.1),
+            persist=(PersistDirective("share", "nvme0://shared/", "bob"),)))
+        c.sim.run(s.done)
+        assert ctld.persist.may_access("nvme0://", "/shared", "bob")
+        u = ctld.submit(JobSpec(
+            name="unsharer", nodes=1, user="alice",
+            program=compute_program(0.1),
+            persist=(PersistDirective("unshare", "nvme0://shared/", "bob"),)))
+        c.sim.run(u.done)
+        assert not ctld.persist.may_access("nvme0://", "/shared", "bob")
+
+    def test_persist_delete_by_stranger_warns(self):
+        c, ctld = build_slurm_cluster(1)
+        p = ctld.submit(self.persist_producer())
+        c.sim.run(p.done)
+        d = ctld.submit(JobSpec(
+            name="thief", nodes=1, user="mallory",
+            program=compute_program(0.1),
+            persist=(PersistDirective("delete", "nvme0://shared/"),)))
+        c.sim.run(d.done)
+        # Operation refused: entry still present, warning recorded.
+        assert ctld.persist.entry("nvme0://", "/shared") is not None
+        rec = ctld.accounting.get(d.job_id)
+        assert any("persist" in w for w in rec.warnings)
+
+
+class TestWorkflowScheduling:
+    def test_dependent_job_waits_for_producer(self):
+        c, ctld = build_slurm_cluster(2)
+        a = ctld.submit(JobSpec(name="a", nodes=1, workflow_start=True,
+                                program=compute_program(10)))
+        b = ctld.submit(JobSpec(name="b", nodes=1,
+                                workflow_prior_dependency=a.job_id,
+                                workflow_end=True,
+                                program=compute_program(5)))
+        c.sim.run(b.done)
+        rec_a = ctld.accounting.get(a.job_id)
+        rec_b = ctld.accounting.get(b.job_id)
+        assert rec_b.alloc_time >= rec_a.end_time - 1e-6
+        status, jobs = ctld.workflow_status(a.workflow_id)
+        assert status is WorkflowStatus.COMPLETED
+
+    def test_workflow_failure_cancels_downstream(self):
+        def failing(ctx):
+            yield ctx.compute(1)
+            raise RuntimeError("solver diverged")
+
+        c, ctld = build_slurm_cluster(2)
+        a = ctld.submit(JobSpec(name="a", nodes=1, workflow_start=True,
+                                program=failing))
+        b = ctld.submit(JobSpec(name="b", nodes=1,
+                                workflow_prior_dependency=a.job_id,
+                                workflow_end=True,
+                                program=compute_program(5)))
+        c.sim.run(b.done)
+        assert a.state is JobState.FAILED
+        assert b.state is JobState.CANCELLED
+        status, _ = ctld.workflow_status(a.workflow_id)
+        assert status is WorkflowStatus.FAILED
+
+    def test_data_aware_placement_reuses_producer_node(self):
+        c, ctld = build_slurm_cluster(4)
+        producer = ctld.submit(JobSpec(
+            name="producer", nodes=1, workflow_start=True, user="alice",
+            program=writer_program("nvme0://", "/wfdata", 100 * MB),
+            persist=(PersistDirective("store", "nvme0://wfdata/"),)))
+        c.sim.run(producer.done)
+        consumer = ctld.submit(JobSpec(
+            name="consumer", nodes=1, user="alice",
+            workflow_prior_dependency=producer.job_id, workflow_end=True,
+            program=reader_program("nvme0://", "/wfdata", 1),
+            stage_in=(StageDirective("stage_in", "nvme0://wfdata/",
+                                     "nvme0://wfdata/", "single"),)))
+        c.sim.run(consumer.done)
+        assert consumer.state is JobState.COMPLETED
+        assert consumer.allocated_nodes == producer.allocated_nodes
+
+    def test_data_oblivious_placement_ignores_hints(self):
+        cfg = SlurmConfig(data_aware_placement=False)
+        c, ctld = build_slurm_cluster(4, config=cfg)
+        producer = ctld.submit(JobSpec(
+            name="producer", nodes=1, workflow_start=True,
+            program=writer_program("nvme0://", "/wfdata", 1 * MB)))
+        c.sim.run(producer.done)
+        # With name-ordered selection the producer got node0; a plain
+        # follow-up also gets node0 — the *hint machinery* is off, but
+        # determinism holds. Just verify the selector flag plumbed in.
+        assert ctld.selector.data_aware is False
+
+
+class TestTrackedDataspaces:
+    def test_leftover_data_reported_on_release(self):
+        c, ctld = build_slurm_cluster(1, track_nvme=True)
+
+        def messy(ctx):
+            yield ctx.write("nvme0://", "/scratch/leak.dat", 10 * MB)
+
+        job = ctld.submit(JobSpec(name="messy", nodes=1, program=messy))
+        c.sim.run(job.done)
+        rec = ctld.accounting.get(job.job_id)
+        assert any("non-empty tracked dataspaces" in w for w in rec.warnings)
+
+    def test_clean_job_has_no_warnings(self):
+        c, ctld = build_slurm_cluster(1, track_nvme=True)
+        job = ctld.submit(JobSpec(name="clean", nodes=1,
+                                  program=compute_program(1)))
+        c.sim.run(job.done)
+        rec = ctld.accounting.get(job.job_id)
+        assert rec.warnings == []

@@ -1,0 +1,180 @@
+"""Fine-grained staging coordinator tests: path mapping, mapping modes,
+failure handling and cleanup.
+
+Staged-in data is removed by the end-of-job cleanup, so distribution
+checks run *inside* the job's program, not after completion.
+"""
+
+import pytest
+
+from repro.errors import StagingFailure
+from repro.slurm import JobState
+from repro.slurm.job import JobSpec, StageDirective
+from repro.slurm.staging import _dest_path
+from repro.util import GB, MB
+
+from tests.conftest import build_slurm_cluster
+
+
+class TestDestPath:
+    @pytest.mark.parametrize("src,origin,dest,expected", [
+        ("/proj/in/a.dat", "/proj/in", "/in", "/in/a.dat"),
+        ("/proj/in/sub/b.dat", "/proj/in", "/in", "/in/sub/b.dat"),
+        ("/proj/in.dat", "/proj/in.dat", "/local", "/local/in.dat"),
+        ("/elsewhere/c.dat", "/proj/in", "/in", "/in/elsewhere/c.dat"),
+    ])
+    def test_mapping(self, src, origin, dest, expected):
+        assert _dest_path(src, origin, dest) == expected
+
+
+def seed_pfs_files(c, n, size=10 * MB, prefix="/proj/in"):
+    for i in range(n):
+        c.sim.run(c.pfs.write("node0", f"{prefix}/f{i:02d}.dat", size,
+                              token=f"seed{i}"))
+
+
+def observing_program(observed, directory="/in"):
+    """Program that records each node's staged file count/paths."""
+
+    def program(ctx):
+        backend = ctx._resolve("nvme0://")
+        paths = [p for p, _c in backend.mount.ns.walk_files("/")
+                 if p.startswith(directory)]
+        observed[ctx.node] = paths
+        yield ctx.compute(0.1)
+
+    return program
+
+
+def staged_job(program, mapping, nodes=2, origin="lustre://proj/in/",
+               dest="nvme0://in/", **kw):
+    return JobSpec(name="staged", nodes=nodes, program=program,
+                   stage_in=(StageDirective("stage_in", origin, dest,
+                                            mapping),), **kw)
+
+
+def noop(seconds=0.5):
+    def program(ctx):
+        yield ctx.compute(seconds)
+    return program
+
+
+class TestMappingModes:
+    def test_scatter_round_robins_files(self):
+        c, ctld = build_slurm_cluster(2)
+        seed_pfs_files(c, 4)
+        observed = {}
+        job = ctld.submit(staged_job(observing_program(observed),
+                                     "scatter"))
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        counts = sorted(len(v) for v in observed.values())
+        assert counts == [2, 2]
+        # Cleanup removed everything afterwards.
+        for n in job.allocated_nodes:
+            assert c.nodes[n].mounts["nvme0"].is_empty()
+
+    def test_replicate_full_copy_everywhere(self):
+        c, ctld = build_slurm_cluster(3)
+        seed_pfs_files(c, 3)
+        observed = {}
+        job = ctld.submit(staged_job(observing_program(observed),
+                                     "replicate", nodes=3))
+        c.sim.run(job.done)
+        assert all(len(v) == 3 for v in observed.values())
+
+    def test_single_lands_on_first_node_only(self):
+        c, ctld = build_slurm_cluster(2)
+        seed_pfs_files(c, 3)
+        observed = {}
+        job = ctld.submit(staged_job(observing_program(observed),
+                                     "single"))
+        c.sim.run(job.done)
+        counts = sorted(len(v) for v in observed.values())
+        assert counts == [0, 3]
+
+    def test_fingerprints_survive_staging(self):
+        c, ctld = build_slurm_cluster(1)
+        seed_pfs_files(c, 2)
+        matches = {}
+
+        def program(ctx):
+            for i in range(2):
+                src = c.pfs.ns.lookup(f"/proj/in/f{i:02d}.dat")
+                dst = ctx.stat("nvme0://", f"/in/f{i:02d}.dat")
+                matches[i] = (src == dst)
+            yield ctx.compute(0.1)
+
+        job = ctld.submit(staged_job(program, "replicate", nodes=1))
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        assert matches == {0: True, 1: True}
+
+
+class TestSingleFileOrigins:
+    def test_stage_in_single_file_origin(self):
+        c, ctld = build_slurm_cluster(1)
+        c.sim.run(c.pfs.write("node0", "/proj/mesh.dat", 100 * MB,
+                              token="mesh"))
+        seen = {}
+
+        def program(ctx):
+            seen["present"] = ctx.exists("nvme0://", "/work/mesh.dat")
+            yield ctx.compute(0.1)
+
+        spec = staged_job(program, "replicate", nodes=1,
+                          origin="lustre://proj/mesh.dat",
+                          dest="nvme0://work/")
+        job = ctld.submit(spec)
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        assert seen == {"present": True}
+
+
+class TestStageOutFailureSemantics:
+    def test_stage_out_failure_leaves_data_and_completes_job(self):
+        # A conflicting *directory* where the stage-out file must land
+        # makes the copy fail; the paper's policy: leave the data on the
+        # node for future recovery, job still completes (with warning).
+        c, ctld = build_slurm_cluster(1)
+        c.pfs.ns.mkdir("/res/rank0.dat")
+
+        def writer(ctx):
+            yield ctx.write("nvme0://", "/out/rank0.dat", 10 * MB)
+
+        job = ctld.submit(JobSpec(
+            name="unlucky", nodes=1, program=writer,
+            stage_out=(StageDirective("stage_out", "nvme0://out/",
+                                      "lustre://res/", "gather"),)))
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED, job.reason
+        rec = ctld.accounting.get(job.job_id)
+        assert any("stage_out" in w and "left" in w for w in rec.warnings)
+        node = job.allocated_nodes[0]
+        # Data still on the node: failed stage-outs skip cleanup so a
+        # future stage_out can recover it.
+        assert c.nodes[node].mounts["nvme0"].exists("/out/rank0.dat")
+
+
+class TestStageInCleanup:
+    def test_partial_stage_in_cleanup_on_timeout(self):
+        c, ctld = build_slurm_cluster(2)
+        # One small file (stages fast) + one huge file (will not finish).
+        c.sim.run(c.pfs.write("node0", "/proj/in/small.dat", 1 * MB))
+        c.sim.run(c.pfs.write("node0", "/proj/in/huge.dat", 400 * GB))
+        job = ctld.submit(staged_job(noop(), "scatter",
+                                     staging_timeout=3.0))
+        c.sim.run(job.done)
+        assert job.state is JobState.FAILED
+        # The already-staged small file was cleaned up too (Section III:
+        # "clean up all data already staged to nodes").
+        for n in c.nodes.values():
+            assert n.mounts["nvme0"].is_empty()
+
+    def test_empty_origin_fails_fast(self):
+        c, ctld = build_slurm_cluster(1)
+        c.pfs.ns.mkdir("/proj/in")  # exists but holds nothing
+        job = ctld.submit(staged_job(noop(), "scatter", nodes=1))
+        c.sim.run(job.done)
+        assert job.state is JobState.FAILED
+        assert "nothing to stage" in job.reason

@@ -1,0 +1,184 @@
+"""urd daemon edge cases: unknown tasks, shutdown, pause, policies,
+failure injection."""
+
+import pytest
+
+from repro.errors import (
+    ConnectionRefused, NoSpace, NornsBusyDataspace, NornsTaskError,
+)
+from repro.norns import (
+    NornsCtlClient, PriorityPolicy, TaskStatus, TaskType,
+)
+from repro.norns.resources import memory_region, posix_path
+from repro.wire import norns_proto as proto
+
+from tests.conftest import ROOT, build_cluster, register_standard_dataspaces
+
+
+@pytest.fixture
+def cluster():
+    c = build_cluster(1)
+    register_standard_dataspaces(c, "node0")
+    return c
+
+
+class TestStatusAndWaitEdges:
+    def test_status_of_unknown_task(self, cluster):
+        ctl = cluster.ctl("node0")
+
+        def go():
+            resp = yield from ctl._roundtrip(
+                proto.IotaskStatusRequest(task_id=424242, pid=0))
+            return resp.error_code
+
+        assert cluster.run(go()) == proto.ERR_NOSUCHTASK
+
+    def test_wait_on_unknown_task(self, cluster):
+        ctl = cluster.ctl("node0")
+
+        def go():
+            resp = yield from ctl._roundtrip(
+                proto.IotaskWaitRequest(task_id=999999, pid=0))
+            return resp.error_code
+
+        assert cluster.run(go()) == proto.ERR_NOSUCHTASK
+
+    def test_wait_after_completion_returns_immediately(self, cluster):
+        ctl = cluster.ctl("node0")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.COPY, memory_region(100),
+                                  posix_path("tmp0://", "/f"))
+            yield from ctl.submit(tsk)
+            yield from ctl.wait(tsk)
+            t0 = cluster.sim.now
+            stats = yield from ctl.wait(tsk)  # second wait: no parking
+            return stats, cluster.sim.now - t0
+
+        stats, elapsed = cluster.run(go())
+        assert stats.status is TaskStatus.FINISHED
+        assert elapsed < 1e-3
+
+
+class TestDaemonLifecycle:
+    def test_pause_rejects_submissions(self, cluster):
+        ctl = cluster.ctl("node0")
+
+        def go():
+            yield from ctl.send_command("pause-accept")
+            resp = yield from ctl._roundtrip(proto.IotaskSubmitRequest(
+                task_type=proto.IOTASK_COPY,
+                input=memory_region(1).to_wire(),
+                output=posix_path("tmp0://", "/x").to_wire(),
+                pid=0, admin=True))
+            code = resp.error_code
+            yield from ctl.send_command("resume-accept")
+            return code
+
+        assert cluster.run(go()) == proto.ERR_BUSY
+
+    def test_shutdown_closes_sockets(self, cluster):
+        ctl = cluster.ctl("node0")
+
+        def go():
+            yield from ctl.send_command("shutdown")
+
+        cluster.run(go())
+        fresh = cluster.ctl("node0")
+        with pytest.raises(ConnectionRefused):
+            cluster.run(fresh.ping())
+
+    def test_unknown_command(self, cluster):
+        ctl = cluster.ctl("node0")
+
+        def go():
+            resp = yield from ctl._roundtrip(
+                proto.CommandRequest(command="levitate"))
+            return resp.error_code
+
+        assert cluster.run(go()) == proto.ERR_BADREQUEST
+
+
+class TestFailureInjection:
+    def test_destination_out_of_space_fails_task(self):
+        from repro.util import GB
+        c = build_cluster(1, nvme_capacity=1 * GB)
+        register_standard_dataspaces(c, "node0")
+        ctl = c.ctl("node0")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.COPY, memory_region(2 * GB),
+                                  posix_path("nvme0://", "/too-big"))
+            yield from ctl.submit(tsk)
+            return (yield from ctl.wait(tsk))
+
+        stats = c.run(go())
+        assert stats.status is TaskStatus.ERROR
+        assert stats.error_code == proto.ERR_TASKERROR
+        # Failed allocation must not leak reserved space.
+        assert c.node("node0").mounts["nvme0"].used_bytes() == 0
+
+    def test_unregister_busy_dataspace_rejected_then_allowed(self, cluster):
+        from repro.util import GB
+        ctl = cluster.ctl("node0")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.COPY, memory_region(5 * GB),
+                                  posix_path("nvme0://", "/slow.bin"))
+            yield from ctl.submit(tsk)
+            # Let the worker pick it up, then try to unregister.
+            yield cluster.sim.timeout(0.1)
+            try:
+                yield from ctl.unregister_dataspace("nvme0://")
+                busy = False
+            except NornsBusyDataspace:
+                busy = True
+            yield from ctl.wait(tsk)
+            yield from ctl.unregister_dataspace("nvme0://")
+            return busy
+
+        assert cluster.run(go()) is True
+
+    def test_remove_missing_file_reports_error(self, cluster):
+        ctl = cluster.ctl("node0")
+
+        def go():
+            tsk = ctl.iotask_init(TaskType.REMOVE,
+                                  posix_path("nvme0://", "/ghost"))
+            yield from ctl.submit(tsk)
+            return (yield from ctl.wait(tsk))
+
+        stats = cluster.run(go())
+        assert stats.status is TaskStatus.ERROR
+
+
+class TestPolicySwap:
+    def test_priority_policy_reorders_under_single_worker(self):
+        from repro.util import GB
+        c = build_cluster(1, workers=1)
+        c.node("node0").urd.queue.policy = PriorityPolicy()
+        register_standard_dataspaces(c, "node0")
+        ctl = c.ctl("node0")
+        finish_order = []
+
+        def go():
+            user_tasks = []
+            for i in range(2):
+                t = ctl.iotask_init(TaskType.COPY, memory_region(3 * GB),
+                                    posix_path("nvme0://", f"/u{i}"))
+                yield from ctl.submit(t)
+                user_tasks.append(t)
+            urgent = ctl.iotask_init(TaskType.COPY, memory_region(1 * GB),
+                                     posix_path("nvme0://", "/urgent"),
+                                     priority=-100)
+            yield from ctl.submit(urgent)
+            for name, t in [("u0", user_tasks[0]), ("u1", user_tasks[1]),
+                            ("urgent", urgent)]:
+                yield from ctl.wait(t)
+                urd_task = c.node("node0").urd.task(t.task_id)
+                finish_order.append((name, urd_task.finished_at))
+
+        c.run(go())
+        by_time = [n for n, _t in sorted(finish_order, key=lambda x: x[1])]
+        # urgent (admin-priority) overtakes the queued second user task.
+        assert by_time.index("urgent") < by_time.index("u1")

@@ -1,0 +1,109 @@
+"""Tests for units, stats and table rendering utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    GB, GiB, KiB, MB, MiB, format_bytes, format_rate, format_seconds,
+    parse_size, render_table, summarize,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("100", 100),
+        ("1k", 1000),
+        ("1kib", 1024),
+        ("16MiB", 16 * MiB),
+        ("100GB", 100 * GB),
+        ("1.5g", 1_500_000_000),
+        (" 512 KiB ", 512 * KiB),
+        (42, 42),
+        (3.7, 3),
+    ])
+    def test_cases(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1xb", "--3"])
+    def test_rejects_junk(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-5)
+
+    @given(st.integers(min_value=0, max_value=2 ** 50))
+    def test_bare_int_roundtrip(self, n):
+        assert parse_size(str(n)) == n
+
+
+class TestFormatting:
+    def test_format_bytes_binary(self):
+        assert format_bytes(1536) == "1.50 KiB"
+        assert format_bytes(2 * GiB) == "2.00 GiB"
+
+    def test_format_bytes_decimal(self):
+        assert format_bytes(2 * GB, binary=False) == "2.00 GB"
+
+    def test_format_rate(self):
+        assert format_rate(1.7 * GiB).endswith("/s")
+
+    @pytest.mark.parametrize("seconds,expect", [
+        (0, "0 s"),
+        (5e-6, "us"),
+        (3e-3, "ms"),
+        (42.0, "s"),
+        (600.0, "min"),
+    ])
+    def test_format_seconds(self, seconds, expect):
+        assert expect in format_seconds(seconds)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4 and s.mean == 2.5 and s.median == 2.5
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.spread == 4.0
+
+    def test_single_sample(self):
+        s = summarize([7.0])
+        assert s.std == 0.0 and s.spread == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_zero_min_spread_inf(self):
+        assert summarize([0.0, 1.0]).spread == float("inf")
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_bounds_property(self, samples):
+        s = summarize(samples)
+        tol = 1e-9 * max(abs(s.min), abs(s.max))
+        assert s.min - tol <= s.median <= s.max + tol
+        assert s.min - tol <= s.mean <= s.max + tol
+        assert s.p5 <= s.p95 + tol
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(("name", "value"),
+                           [("alpha", 1.0), ("b", 22222.0)],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # all rows same width
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(("a",), [(1, 2)])
+
+    def test_nan_rendered_as_dash(self):
+        out = render_table(("x",), [(float("nan"),)])
+        assert "-" in out.splitlines()[-1]

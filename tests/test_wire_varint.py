@@ -1,0 +1,82 @@
+"""Unit + property tests for varint/zigzag codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WireDecodeError, WireEncodeError
+from repro.wire import (
+    decode_varint, decode_zigzag, encode_varint, encode_zigzag,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value,expected", [
+        (0, b"\x00"),
+        (1, b"\x01"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (300, b"\xac\x02"),          # the canonical protobuf doc example
+        (2 ** 64 - 1, b"\xff" * 9 + b"\x01"),
+    ])
+    def test_known_encodings(self, value, expected):
+        assert encode_varint(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(WireEncodeError):
+            encode_varint(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(WireEncodeError):
+            encode_varint(2 ** 64)
+
+    def test_truncated_raises(self):
+        with pytest.raises(WireDecodeError):
+            decode_varint(b"\x80")
+
+    def test_overlong_raises(self):
+        with pytest.raises(WireDecodeError):
+            decode_varint(b"\xff" * 11)
+
+    def test_decode_with_offset(self):
+        buf = b"junk" + encode_varint(300)
+        value, pos = decode_varint(buf, offset=4)
+        assert value == 300 and pos == len(buf)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, pos = decode_varint(encoded)
+        assert decoded == value and pos == len(encoded)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
+           st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_concatenated_streams_parse(self, a, b):
+        buf = encode_varint(a) + encode_varint(b)
+        va, pos = decode_varint(buf)
+        vb, end = decode_varint(buf, pos)
+        assert (va, vb) == (a, b) and end == len(buf)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value,first_byte", [
+        (0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4),
+    ])
+    def test_zigzag_mapping(self, value, first_byte):
+        assert encode_zigzag(value)[0] == first_byte
+
+    def test_out_of_range(self):
+        with pytest.raises(WireEncodeError):
+            encode_zigzag(2 ** 63)
+        with pytest.raises(WireEncodeError):
+            encode_zigzag(-(2 ** 63) - 1)
+
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+    def test_roundtrip(self, value):
+        decoded, _ = decode_zigzag(encode_zigzag(value))
+        assert decoded == value
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_small_magnitudes_stay_small(self, value):
+        # The whole point of zigzag: |v| < 2**6 fits in one byte.
+        if abs(value) < 64:
+            assert len(encode_zigzag(value)) == 1
