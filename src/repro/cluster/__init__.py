@@ -11,11 +11,12 @@ systems for the Fig. 1 interference study.
 from repro.cluster.spec import ClusterSpec, DeviceSpec, NodeGroupSpec
 from repro.cluster.builder import ClusterHandle, NodeHandle, build
 from repro.cluster.presets import (
-    archer_like, marenostrum4_like, nextgenio, small_test,
+    archer_like, marenostrum4_like, nextgenio, replay_scale, small_test,
 )
 
 __all__ = [
     "ClusterSpec", "DeviceSpec", "NodeGroupSpec",
     "ClusterHandle", "NodeHandle", "build",
     "nextgenio", "archer_like", "marenostrum4_like", "small_test",
+    "replay_scale",
 ]

@@ -12,7 +12,8 @@ from repro.cluster.spec import ClusterSpec, DeviceSpec, NodeGroupSpec
 from repro.storage.pfs import PfsConfig
 from repro.util.units import GB, GiB, MB, TB
 
-__all__ = ["nextgenio", "archer_like", "marenostrum4_like", "small_test"]
+__all__ = ["nextgenio", "archer_like", "marenostrum4_like", "small_test",
+           "replay_scale"]
 
 
 def nextgenio(n_nodes: int = 34, track_nvme: bool = False,
@@ -140,6 +141,48 @@ def marenostrum4_like(n_nodes: int = 64) -> ClusterSpec:
             client_read_cap=3.0 * GB,
             client_write_cap=3.0 * GB,
         ),
+    )
+
+
+def replay_scale(n_nodes: int = 64, workers: int = 4) -> ClusterSpec:
+    """A NEXTGenIO-flavoured machine sized for trace-replay runs.
+
+    Scales the Section V-A node recipe out to ``n_nodes`` and widens the
+    PFS back end (4 OSSs × 6 OSTs) so thousands of staged workflows can
+    drain without the single-OSS front link becoming the only story.
+    Per-client caps stay at the calibrated NEXTGenIO values, so
+    single-job staging behaviour matches the paper while the aggregate
+    scales with the bigger rack.
+    """
+    base = nextgenio(n_nodes=n_nodes, workers=workers)
+    return ClusterSpec(
+        name="replay-scale",
+        nodes=NodeGroupSpec(
+            count=n_nodes,
+            name_prefix="cn",
+            cores=48,
+            ram=192 * GiB,
+            nic_bandwidth=base.nodes.nic_bandwidth,
+            membus_bandwidth=base.nodes.membus_bandwidth,
+            devices=base.nodes.devices,
+        ),
+        fabric_core_bandwidth=4_000 * GB,
+        fabric_base_latency=base.fabric_base_latency,
+        na_plugin="ofi+tcp",
+        pfs=PfsConfig(
+            name="lustre",
+            n_oss=4,
+            osts_per_oss=6,
+            ost_read_bandwidth=0.90 * GB,
+            ost_write_bandwidth=0.45 * GB,
+            oss_link_bandwidth=7.0 * GB,
+            front_link_bandwidth=28.0 * GB,
+            mds_service_time=150e-6,
+            default_stripe_count=6,
+            client_read_cap=1.65 * GB,
+            client_write_cap=1.42 * GB,
+        ),
+        urd_workers=workers,
     )
 
 

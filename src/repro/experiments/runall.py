@@ -23,6 +23,7 @@ REGISTRY = (
     ("table3", "repro.experiments.table3_synthetic_workflow"),
     ("table4", "repro.experiments.table4_staging_impact"),
     ("table5", "repro.experiments.table5_openfoam"),
+    ("replay", "repro.experiments.trace_replay"),
 )
 
 

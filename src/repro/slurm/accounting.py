@@ -29,6 +29,11 @@ class JobRecord:
     end_time: Optional[float] = None
     stage_in_seconds: float = 0.0
     stage_out_seconds: float = 0.0
+    #: the urd's E.T.A. for each staging phase at submission time —
+    #: comparing against the actual elapsed time scores the paper's
+    #: transfer-rate-monitoring feedback channel.
+    stage_in_eta_seconds: float = 0.0
+    stage_out_eta_seconds: float = 0.0
     bytes_staged_in: int = 0
     bytes_staged_out: int = 0
     warnings: List[str] = field(default_factory=list)

@@ -7,17 +7,23 @@ extensions add the workflow status query: "Each workflow is assigned a
 unique Workflow ID enabling users to be able to enquire about the
 overall status of a workflow and obtain a list of all jobs and their
 status".)
+
+The module is also runnable — ``python -m repro.slurm.cli replay ...``
+drives the trace-replay subsystem from the command line: load an SWF or
+JSONL trace (or synthesize one), build a cluster preset, replay it
+through slurmctld/urd, and print the metrics report.
 """
 
 from __future__ import annotations
 
+import argparse
 from typing import Optional
 
 from repro.slurm.slurmctld import Slurmctld
 from repro.util.tables import render_table
 from repro.util.units import format_bytes, format_seconds
 
-__all__ = ["squeue", "sacct", "sworkflow", "sinfo"]
+__all__ = ["squeue", "sacct", "sworkflow", "sinfo", "main"]
 
 
 def squeue(ctld: Slurmctld) -> str:
@@ -75,3 +81,100 @@ def sinfo(ctld: Slurmctld) -> str:
     rows = [(name, "idle" if name in free else "alloc")
             for name in sorted(ctld.slurmds)]
     return render_table(("NODE", "STATE"), rows, title="sinfo")
+
+
+# ----------------------------------------------------------------------
+# Command-line front end
+# ----------------------------------------------------------------------
+def _build_replay_parser(sub) -> None:
+    p = sub.add_parser(
+        "replay",
+        help="replay a workload trace through slurmctld/urd",
+        description="Feed an SWF/JSONL trace (or a synthesized one) "
+                    "into a simulated cluster and print the per-job "
+                    "metrics report.")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--trace", metavar="FILE",
+                     help="trace file (.swf or .jsonl, by extension)")
+    src.add_argument("--synth", type=int, metavar="N",
+                     help="synthesize an N-job trace instead")
+    p.add_argument("--arrival", choices=("poisson", "diurnal"),
+                   default="poisson", help="synthetic arrival process")
+    p.add_argument("--interarrival", type=float, default=30.0,
+                   help="mean seconds between synthetic arrivals")
+    p.add_argument("--staged-fraction", type=float, default=0.25,
+                   help="target fraction of staged-workflow jobs")
+    p.add_argument("--stage-bytes", type=float, default=4e9,
+                   help="mean staged bytes per workflow job")
+    p.add_argument("--preset", default="replay_scale",
+                   choices=("replay_scale", "nextgenio", "small_test"),
+                   help="cluster preset to build")
+    p.add_argument("--nodes", type=int, default=0,
+                   help="override the preset's node count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--compression", type=float, default=1.0,
+                   help="time-compression factor on arrivals")
+    p.add_argument("--batch-window", type=float, default=0.0,
+                   help="coalesce submissions into windows (seconds)")
+    p.add_argument("--runtime-scale", type=float, default=1.0,
+                   help="scale factor on trace run times")
+    p.add_argument("--save-trace", metavar="FILE",
+                   help="also write the (synthesized) trace to FILE "
+                        "(.swf or .jsonl)")
+    p.set_defaults(func=_cmd_replay)
+
+
+def _load_or_synthesize(args):
+    from repro.traces import (
+        SynthesisConfig, load_jsonl, load_swf, synthesize,
+    )
+    if args.trace:
+        if args.trace.endswith(".jsonl"):
+            return load_jsonl(args.trace)
+        return load_swf(args.trace)
+    cfg = SynthesisConfig(
+        n_jobs=args.synth, arrival=args.arrival,
+        mean_interarrival=args.interarrival,
+        staged_fraction=args.staged_fraction,
+        stage_bytes_mean=args.stage_bytes)
+    return synthesize(cfg, seed=args.seed)
+
+
+def _cmd_replay(args) -> int:
+    from repro.cluster import build, nextgenio, replay_scale, small_test
+    from repro.traces import ReplayConfig, TraceReplayer, dump_jsonl, dump_swf
+
+    trace = _load_or_synthesize(args)
+    if args.save_trace:
+        if args.save_trace.endswith(".swf"):
+            dump_swf(trace, args.save_trace)
+        else:
+            dump_jsonl(trace, args.save_trace)
+    presets = {"replay_scale": replay_scale, "nextgenio": nextgenio,
+               "small_test": small_test}
+    preset = presets[args.preset]
+    spec = preset(n_nodes=args.nodes) if args.nodes else preset()
+    handle = build(spec, seed=args.seed)
+    replayer = TraceReplayer(
+        handle, trace,
+        ReplayConfig(time_compression=args.compression,
+                     batch_window=args.batch_window,
+                     runtime_scale=args.runtime_scale))
+    report = replayer.run()
+    print(report.to_text())
+    return 0 if report.completed == trace.n_jobs else 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-slurm",
+        description="Command-line front end for the simulated Slurm "
+                    "stack.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _build_replay_parser(sub)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -77,6 +77,13 @@ class BackfillScheduler:
                            j.job_id))
         reserved_until: Optional[float] = None
         reserved_nodes: set[str] = set()
+        # Running-job completion times, presorted lazily on the first
+        # blocked job and reused for the rest of the pass.  EASY takes
+        # a single reservation so today this is computed at most once;
+        # keeping the sort out of _shadow means policies that reserve
+        # for several blocked jobs stay O(running log running) per
+        # pass instead of per blocked job.
+        completions: Optional[list] = None
 
         for job in order:
             need = job.spec.nodes
@@ -90,8 +97,10 @@ class BackfillScheduler:
                     if not self.backfill:
                         break  # strict FIFO: nothing may overtake
                     # Head job blocked: compute its reservation.
+                    if completions is None:
+                        completions = self._completion_events(now, running)
                     reserved_until, reserved_nodes = self._shadow(
-                        job, now, free, running)
+                        job, now, free, completions)
             else:
                 # Backfill: must not delay the reservation.
                 if not self._fits(job, free):
@@ -129,15 +138,24 @@ class BackfillScheduler:
             ordered = sorted(available)
         return list(ordered[:job.spec.nodes])
 
-    def _shadow(self, job: Job, now: float, free: Sequence[str],
-                running: Sequence[Job]) -> tuple[float, set[str]]:
-        """When (and where) will the blocked head job be able to run?"""
+    @staticmethod
+    def _completion_events(now: float,
+                           running: Sequence[Job]) -> list[tuple]:
+        """Expected (end, nodes) of every running job, soonest first."""
         events = []
         for r in running:
             end = r.expected_end if r.expected_end is not None \
                 else now + r.spec.time_limit
             events.append((end, r.allocated_nodes))
         events.sort(key=lambda e: e[0])
+        return events
+
+    def _shadow(self, job: Job, now: float, free: Sequence[str],
+                events: Sequence[tuple]) -> tuple[float, set[str]]:
+        """When (and where) will the blocked head job be able to run?
+
+        ``events`` is the presorted output of :meth:`_completion_events`.
+        """
         avail = set(free)
         for end, nodes in events:
             avail.update(nodes)

@@ -210,6 +210,7 @@ class Slurmctld:
                 report = yield self.sim.process(
                     self.staging.stage_in(job))
                 rec.stage_in_seconds = report.elapsed
+                rec.stage_in_eta_seconds = report.predicted_seconds
                 rec.bytes_staged_in = report.bytes
             except StagingFailure as exc:
                 rec.warnings.append(f"stage_in failed: {exc}")
@@ -251,6 +252,7 @@ class Slurmctld:
             job.set_state(JobState.STAGING_OUT)
             report = yield self.sim.process(self.staging.stage_out(job))
             rec.stage_out_seconds = report.elapsed
+            rec.stage_out_eta_seconds = report.predicted_seconds
             rec.bytes_staged_out = report.bytes
             stage_out_failed = not report.ok
             for failure in report.failures:

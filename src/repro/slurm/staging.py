@@ -152,6 +152,10 @@ class StagingReport:
     bytes: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: the urd's E.T.A. for the phase (max over nodes of the last
+    #: submitted task's estimate) — lets callers score the paper's
+    #: "E.T.A. for each task" feedback channel against reality.
+    predicted_seconds: float = 0.0
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -293,11 +297,13 @@ class StagingCoordinator:
         """Submit per-node admin copies in parallel; wait with timeout."""
         procs = []
         failures: List[str] = []
+        predictions: Dict[str, float] = {}
         for node, copies in per_node.items():
             if not copies:
                 continue
             procs.append(self.sim.process(
-                self._node_copies(node, copies, failures),
+                self._node_copies(node, copies, failures, predictions,
+                                  phase_start=report.started_at),
                 name=f"stage:{job.job_id}:{node}"))
         if not procs:
             return []
@@ -310,9 +316,12 @@ class StagingCoordinator:
                 if p.is_alive:
                     p.interrupt("staging timeout")
             failures.append(f"staging timeout after {limit}s")
+        report.predicted_seconds = max(predictions.values(), default=0.0)
         return failures
 
-    def _node_copies(self, node: str, copies: list, failures: List[str]):
+    def _node_copies(self, node: str, copies: list, failures: List[str],
+                     predictions: Optional[Dict[str, float]] = None,
+                     phase_start: float = 0.0):
         from repro.errors import Interrupted, NornsError
         ctl = self.slurmds[node].ctl()
         try:
@@ -321,6 +330,12 @@ class StagingCoordinator:
                 tsk = ctl.iotask_init(TaskType.COPY, src, dst)
                 yield from ctl.submit(tsk)
                 tasks.append((tsk, src, dst))
+            if predictions is not None and tasks:
+                # The last task's E.T.A. includes all bytes queued ahead
+                # of it on the route, so submission offset + that E.T.A.
+                # predicts when this node's whole batch drains.
+                predictions[node] = (self.sim.now - phase_start) \
+                    + tasks[-1][0].eta_seconds
             for tsk, src, dst in tasks:
                 stats = yield from ctl.wait(tsk)
                 if stats.status is TaskStatus.ERROR:

@@ -1,0 +1,41 @@
+"""Trace-driven workload replay: formats, synthesizers, and the replayer.
+
+The subsystem turns the reproduction into a cluster-scale load
+generator, the standard methodology for evaluating batch schedulers on
+real workload logs:
+
+* :mod:`repro.traces.records` — the format-neutral job-record model
+  (SWF fields + NORNS staging / workflow extensions).
+* :mod:`repro.traces.swf` — Standard Workload Format parse/render
+  (round-trips the Parallel Workloads Archive layout).
+* :mod:`repro.traces.jsonl` — the native lossless JSONL format that
+  also carries staging directives and workflow structure.
+* :mod:`repro.traces.synth` — parametric synthesizers (Poisson and
+  diurnal arrivals, heavy-tailed sizes, configurable staging mix),
+  deterministic via :class:`~repro.sim.rng.RngRegistry`.
+* :mod:`repro.traces.replay` — the :class:`TraceReplayer` that feeds a
+  trace into slurmctld/urd on the sim clock with time compression and
+  submission batching, streaming per-job metrics into a report.
+"""
+
+from repro.traces.records import (
+    STATUS_CANCELLED, STATUS_COMPLETED, STATUS_FAILED,
+    Trace, TraceError, TraceJob,
+)
+from repro.traces.swf import dump_swf, format_swf, load_swf, parse_swf
+from repro.traces.jsonl import (
+    dump_jsonl, format_jsonl, load_jsonl, parse_jsonl,
+)
+from repro.traces.synth import SynthesisConfig, synthesize
+from repro.traces.replay import (
+    JobMetric, ReplayConfig, ReplayReport, TraceReplayer,
+)
+
+__all__ = [
+    "Trace", "TraceJob", "TraceError",
+    "STATUS_FAILED", "STATUS_COMPLETED", "STATUS_CANCELLED",
+    "parse_swf", "format_swf", "load_swf", "dump_swf",
+    "parse_jsonl", "format_jsonl", "load_jsonl", "dump_jsonl",
+    "SynthesisConfig", "synthesize",
+    "ReplayConfig", "ReplayReport", "JobMetric", "TraceReplayer",
+]

@@ -1,0 +1,444 @@
+"""Trace-driven replay: feed a workload trace through slurmctld/urd.
+
+The :class:`TraceReplayer` is the load generator the ROADMAP's
+heavy-traffic goal calls for.  It takes any :class:`~repro.traces
+.records.Trace` (parsed from SWF/JSONL or synthesized), maps each
+record onto a real :class:`~repro.slurm.job.JobSpec` — including NORNS
+stage-in/stage-out directives and the paper's workflow dependencies —
+and submits it on the simulation clock at a configurable
+time-compression, optionally batching submissions into windows to
+amortize scheduler wake-ups.
+
+Per-job metrics (wait time, bounded slowdown, staging time and the
+urd's staging-E.T.A. error) are streamed into a
+:class:`ReplayReport` as each job reaches a terminal state, then
+summarized via :mod:`repro.util.stats` and rendered with
+:mod:`repro.util.tables`.  The report's :meth:`ReplayReport.to_text`
+output is deterministic: same trace + same seed ⇒ byte-identical text.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.slurm.job import Job, JobSpec, StageDirective, PersistDirective
+from repro.traces.records import Trace, TraceJob
+from repro.util.stats import Summary, summarize
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+from repro.workloads.app import (
+    compute_only, consume_files, phased_program, produce_files,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.builder import ClusterHandle
+
+__all__ = ["ReplayConfig", "JobMetric", "ReplayReport", "TraceReplayer"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay-driver knobs."""
+
+    #: divide trace inter-arrival times by this (1 = real trace pacing).
+    time_compression: float = 1.0
+    #: coalesce submissions into windows of this many (compressed)
+    #: seconds; 0 = submit each job at its exact arrival instant.
+    batch_window: float = 0.0
+    #: scale factor on trace run times (shrink jobs for quick runs).
+    runtime_scale: float = 1.0
+    #: scale factor on staged data volumes.
+    data_scale: float = 1.0
+    #: clip jobs wider than the cluster instead of refusing the trace.
+    clip_nodes: bool = True
+    #: pre-seed PFS input datasets for root stage-in jobs.
+    seed_inputs: bool = True
+    #: bounded-slowdown threshold (seconds), the literature's tau.
+    bounded_slowdown_tau: float = 10.0
+    #: floor on the derived per-job time limit (seconds).
+    min_time_limit: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.time_compression <= 0:
+            raise ReproError("time_compression must be positive")
+        if self.batch_window < 0 or self.runtime_scale <= 0 \
+                or self.data_scale <= 0:
+            raise ReproError("bad replay config")
+
+
+@dataclass
+class JobMetric:
+    """One job's replay outcome (streamed as the job terminates)."""
+
+    trace_id: int
+    job_id: int
+    state: str
+    nodes: int
+    submitted: float           # sim time relative to replay start
+    wait: Optional[float]      # queue wait (submit -> allocation)
+    service: Optional[float]   # allocation -> end (stage + run + stage)
+    response: Optional[float]  # submit -> end
+    slowdown: Optional[float]  # bounded slowdown
+    staged_bytes: int = 0
+    stage_seconds: float = 0.0
+    #: mean absolute relative error of the urd staging E.T.A.s over the
+    #: job's staging phases (None: no staging with a prediction)
+    eta_error: Optional[float] = None
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate replay outcome + per-job metric stream."""
+
+    trace_name: str
+    n_jobs: int
+    n_nodes: int
+    time_compression: float
+    batch_window: float
+    metrics: List[JobMetric] = field(default_factory=list)
+    state_counts: Dict[str, int] = field(default_factory=dict)
+    makespan: float = 0.0
+    node_utilization: float = 0.0
+    nvm_capacity_turnover: float = 0.0
+    bytes_staged: int = 0
+    staged_jobs: int = 0
+
+    def ingest(self, metric: JobMetric) -> None:
+        self.metrics.append(metric)
+        self.state_counts[metric.state] = \
+            self.state_counts.get(metric.state, 0) + 1
+        self.bytes_staged += metric.staged_bytes
+        if metric.staged_bytes:
+            self.staged_jobs += 1
+
+    # -- aggregate views -------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return self.state_counts.get("completed", 0)
+
+    @property
+    def throughput_per_hour(self) -> float:
+        """Completed jobs per simulated hour."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed / (self.makespan / 3600.0)
+
+    def _summary(self, values: List[float]) -> Optional[Summary]:
+        return summarize(values) if values else None
+
+    @property
+    def wait_summary(self) -> Optional[Summary]:
+        return self._summary([m.wait for m in self.metrics
+                              if m.state == "completed"
+                              and m.wait is not None])
+
+    @property
+    def slowdown_summary(self) -> Optional[Summary]:
+        return self._summary([m.slowdown for m in self.metrics
+                              if m.state == "completed"
+                              and m.slowdown is not None])
+
+    @property
+    def stage_summary(self) -> Optional[Summary]:
+        return self._summary([m.stage_seconds for m in self.metrics
+                              if m.state == "completed"
+                              and m.stage_seconds > 0])
+
+    @property
+    def eta_error_summary(self) -> Optional[Summary]:
+        return self._summary([abs(m.eta_error) for m in self.metrics
+                              if m.state == "completed"
+                              and m.eta_error is not None])
+
+    # -- rendering -------------------------------------------------------
+    def to_text(self) -> str:
+        """Deterministic plain-text report (no wall-clock content)."""
+        head = render_table(
+            ("TRACE", "JOBS", "NODES", "COMPRESSION", "BATCH-WINDOW"),
+            [(self.trace_name, self.n_jobs, self.n_nodes,
+              f"{self.time_compression:g}x", f"{self.batch_window:g}s")],
+            title="trace replay")
+        states = render_table(
+            ("STATE", "JOBS"),
+            [(s, n) for s, n in sorted(self.state_counts.items())],
+            title="outcomes")
+        rows = []
+        for label, summ in (("wait s", self.wait_summary),
+                            ("bounded slowdown", self.slowdown_summary),
+                            ("staging s", self.stage_summary),
+                            ("|eta error|", self.eta_error_summary)):
+            if summ is None:
+                rows.append((label, 0, "-", "-", "-", "-"))
+            else:
+                rows.append((label, summ.n, summ.mean, summ.median,
+                             summ.p95, summ.max))
+        dist = render_table(
+            ("metric", "n", "mean", "median", "p95", "max"), rows,
+            title="per-job metrics (completed jobs)")
+        totals = render_table(
+            ("makespan s", "jobs/sim-hour", "node util",
+             "staged", "staged jobs", "nvm turnover"),
+            [(self.makespan, self.throughput_per_hour,
+              f"{self.node_utilization:.3f}",
+              format_bytes(self.bytes_staged), self.staged_jobs,
+              f"{self.nvm_capacity_turnover:.4f}")],
+            title="cluster totals")
+        return "\n\n".join((head, states, dist, totals)) + "\n"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+class TraceReplayer:
+    """Drive a trace through a built cluster's slurmctld."""
+
+    def __init__(self, handle: "ClusterHandle", trace: Trace,
+                 config: Optional[ReplayConfig] = None,
+                 on_metric: Optional[Callable[[JobMetric], None]] = None
+                 ) -> None:
+        self.handle = handle
+        self.sim = handle.sim
+        self.ctld = handle.ctld
+        self.config = config or ReplayConfig()
+        self.trace = trace.normalized()
+        self.on_metric = on_metric
+        self._jobs_by_tid: Dict[int, Job] = {}
+        self._trace_by_tid: Dict[int, TraceJob] = {
+            j.job_id: j for j in self.trace.jobs}
+        self._produced_bytes = 0
+        self._start = self.sim.now
+        n = len(handle.ctld.slurmds)
+        self.report = ReplayReport(
+            trace_name=self.trace.name, n_jobs=self.trace.n_jobs,
+            n_nodes=n, time_compression=self.config.time_compression,
+            batch_window=self.config.batch_window)
+
+    # -- public ----------------------------------------------------------
+    def run(self) -> ReplayReport:
+        """Replay the whole trace; returns the finished report."""
+        ordered = self.trace.sorted_jobs()
+        if not ordered:
+            return self.report
+        if self.config.seed_inputs:
+            seeds = [t for t in ordered
+                     if t.stage_in_bytes > 0 and t.dependency is None]
+            if seeds:
+                if self.handle.pfs is None:
+                    raise ReproError(
+                        "trace needs PFS input seeding but the cluster "
+                        "has no parallel filesystem")
+                self.sim.run(self.sim.process(self._seed(seeds),
+                                              name="replay:seed"))
+        start = self._start = self.sim.now
+        driver = self.sim.process(self._drive(ordered, start),
+                                  name="replay:driver")
+        self.sim.run(driver)
+        self.sim.run(self.ctld.drain())
+        self._finalize(start)
+        return self.report
+
+    # -- phases ----------------------------------------------------------
+    def _seed(self, seeds: List[TraceJob]):
+        """Pre-create PFS input datasets for root stage-in jobs."""
+        for tj in seeds:
+            n_files = max(1, tj.stage_in_files)
+            per_file = max(1, int(tj.stage_in_bytes
+                                  * self.config.data_scale) // n_files)
+            for i in range(n_files):
+                yield self.handle.pfs.write(
+                    None, f"{_seed_dir(tj.job_id)}/r0_f{i}.dat",
+                    per_file, token=f"seed:{tj.job_id}:{i}")
+
+    def _drive(self, ordered: List[TraceJob], start: float):
+        """Submit every job at its compressed (batched) arrival time."""
+        first = ordered[0].submit_time
+        window = self.config.batch_window
+        for tj in ordered:
+            offset = (tj.submit_time - first) / self.config.time_compression
+            if window > 0:
+                # Coalesce to the end of the arrival's window.
+                offset = math.ceil(offset / window) * window \
+                    if offset > 0 else 0.0
+            target = start + offset
+            if target > self.sim.now:
+                yield self.sim.timeout(target - self.sim.now)
+            self._submit(tj)
+
+    def _submit(self, tj: TraceJob) -> None:
+        spec = self._spec(tj)
+        job = self.ctld.submit(spec)
+        self._jobs_by_tid[tj.job_id] = job
+        job.done.add_callback(
+            lambda _ev, tj=tj, job=job: self._collect(tj, job))
+
+    # -- spec construction -----------------------------------------------
+    def _spec(self, tj: TraceJob) -> JobSpec:
+        cfg = self.config
+        n_cluster = len(self.ctld.slurmds)
+        nodes = tj.nodes
+        if nodes > n_cluster:
+            if not cfg.clip_nodes:
+                raise ReproError(
+                    f"trace job {tj.job_id} wants {nodes} nodes, "
+                    f"cluster has {n_cluster}")
+            nodes = n_cluster
+        run = tj.runtime * cfg.runtime_scale
+        in_bytes = int(tj.stage_in_bytes * cfg.data_scale)
+        out_bytes = int(tj.stage_out_bytes * cfg.data_scale)
+        in_files = max(1, tj.stage_in_files) if in_bytes else 0
+        out_files = max(1, tj.stage_out_files) if out_bytes else 0
+        base = f"/replay/j{tj.job_id}"
+
+        stage_in = ()
+        phases = []
+        if in_bytes:
+            if tj.dependency is not None:
+                origin = f"lustre:/{_out_dir(tj.dep)}/"
+                dep = self._trace_by_tid.get(tj.dep)
+                in_files = max(1, dep.stage_out_files) if dep else in_files
+            else:
+                origin = f"lustre:/{_seed_dir(tj.job_id)}/"
+            # "single" keeps the staged volume equal to the trace's
+            # declaration whatever the node count ("replicate" would
+            # silently multiply it by the allocation width); only rank
+            # 0's node holds the data, so only rank 0 consumes it.
+            stage_in = (StageDirective("stage_in", origin,
+                                       f"nvme0:/{base}/in/", "single"),)
+            phases.append(_rank0_consume("nvme0://", f"{base}/in",
+                                         in_files))
+
+        stage_out = ()
+        if out_bytes:
+            # Spread the trace-declared volume across the allocation:
+            # every rank produces out_files files, aggregating to
+            # ~out_bytes total, which stage-out gathers back.
+            per_file = max(1, out_bytes // (out_files * nodes))
+            stage_out = (StageDirective("stage_out", f"nvme0:/{base}/out/",
+                                        f"lustre:/{_out_dir(tj.job_id)}/",
+                                        "gather"),)
+            phases.append(produce_files(
+                "nvme0://", f"{base}/out", out_files, per_file,
+                compute_seconds=run, interleave=True,
+                token_prefix=f"t{tj.job_id}:"))
+        else:
+            phases.append(compute_only(run))
+
+        persist = ()
+        if tj.persist and out_bytes:
+            persist = (PersistDirective("store", f"nvme0:/{base}/out/"),)
+
+        program = phases[0] if len(phases) == 1 else phased_program(*phases)
+        # Generous limit: the trace's padded request scaled down, plus an
+        # I/O allowance so staging-heavy jobs don't cascade TIMEOUTs.
+        io_allowance = (in_bytes + out_bytes) / 500e6
+        limit = max(cfg.min_time_limit,
+                    tj.time_limit() * cfg.runtime_scale + io_allowance)
+        return JobSpec(
+            name=f"t{tj.job_id}", nodes=nodes, user=f"user{tj.user}",
+            time_limit=limit, program=program,
+            workflow_start=tj.workflow_start,
+            workflow_prior_dependency=(
+                self._jobs_by_tid[tj.dep].job_id
+                if tj.dependency is not None else None),
+            workflow_end=False,
+            stage_in=stage_in, stage_out=stage_out, persist=persist)
+
+    # -- metric streaming ------------------------------------------------
+    def _collect(self, tj: TraceJob, job: Job) -> None:
+        rec = self.ctld.accounting.get(job.job_id)
+        tau = self.config.bounded_slowdown_tau
+        wait = rec.wait_seconds if rec else None
+        service = rec.total_seconds if rec else None
+        response = None
+        slowdown = None
+        if rec and rec.end_time is not None:
+            response = rec.end_time - rec.submit_time
+            if service is not None and service > 0:
+                slowdown = max(1.0, response / max(service, tau))
+        staged = (rec.bytes_staged_in + rec.bytes_staged_out) if rec else 0
+        stage_seconds = (rec.stage_in_seconds + rec.stage_out_seconds) \
+            if rec else 0.0
+        eta_error = None
+        if rec:
+            # Absolute per-phase errors: a too-low stage-in estimate
+            # must not cancel against a too-high stage-out one.
+            errs = []
+            if rec.stage_in_seconds > 0 and rec.stage_in_eta_seconds > 0:
+                errs.append(abs(rec.stage_in_seconds
+                                - rec.stage_in_eta_seconds)
+                            / rec.stage_in_seconds)
+            if rec.stage_out_seconds > 0 and rec.stage_out_eta_seconds > 0:
+                errs.append(abs(rec.stage_out_seconds
+                                - rec.stage_out_eta_seconds)
+                            / rec.stage_out_seconds)
+            if errs:
+                eta_error = sum(errs) / len(errs)
+        if job.state.value == "completed" and tj.stage_out_bytes > 0:
+            # NVM production counted only for jobs that actually ran
+            # their produce phase to completion (same arithmetic as the
+            # produce_files phase in _spec).
+            out_bytes = int(tj.stage_out_bytes * self.config.data_scale)
+            out_files = max(1, tj.stage_out_files)
+            nodes = len(job.allocated_nodes) or 1
+            per_file = max(1, out_bytes // (out_files * nodes))
+            self._produced_bytes += per_file * out_files * nodes
+        metric = JobMetric(
+            trace_id=tj.job_id, job_id=job.job_id, state=job.state.value,
+            nodes=len(job.allocated_nodes) or tj.nodes,
+            submitted=job.submit_time - self._start, wait=wait,
+            service=service, response=response, slowdown=slowdown,
+            staged_bytes=staged, stage_seconds=stage_seconds,
+            eta_error=eta_error)
+        self.report.ingest(metric)
+        if self.on_metric is not None:
+            self.on_metric(metric)
+
+    # -- aggregation -----------------------------------------------------
+    def _finalize(self, start: float) -> None:
+        report = self.report
+        records = [self.ctld.accounting.get(j.job_id)
+                   for j in self._jobs_by_tid.values()]
+        ends = [r.end_time for r in records if r and r.end_time is not None]
+        report.makespan = (max(ends) - start) if ends else 0.0
+        n_nodes = len(self.ctld.slurmds)
+        if report.makespan > 0:
+            busy = sum((r.end_time - r.alloc_time) * len(r.nodes)
+                       for r in records
+                       if r and r.alloc_time is not None
+                       and r.end_time is not None)
+            report.node_utilization = busy / (n_nodes * report.makespan)
+        nvm_capacity = _nvm_capacity(self.handle)
+        if nvm_capacity > 0:
+            moved = sum(r.bytes_staged_in for r in records if r) \
+                + self._produced_bytes
+            report.nvm_capacity_turnover = moved / (nvm_capacity * n_nodes)
+
+
+def _rank0_consume(nsid: str, directory: str, n_files: int):
+    """Read the staged-in files on rank 0 only ("single" mapping)."""
+    inner = consume_files(nsid, directory, n_files, producer_rank=0)
+
+    def program(ctx):
+        if ctx.rank != 0:
+            return
+        yield from inner(ctx)
+
+    return program
+
+
+def _seed_dir(trace_id: int) -> str:
+    return f"/replay/in/j{trace_id}"
+
+
+def _out_dir(trace_id: int) -> str:
+    return f"/replay/out/j{trace_id}"
+
+
+def _nvm_capacity(handle: "ClusterHandle") -> float:
+    for dev in handle.spec.nodes.devices:
+        if dev.name == "nvme0":
+            return float(dev.capacity)
+    return 0.0

@@ -1,9 +1,9 @@
-"""Tests for the squeue/sacct/sworkflow/sinfo front ends."""
+"""Tests for the squeue/sacct/sworkflow/sinfo front ends + replay CLI."""
 
 import pytest
 
 from repro.slurm import JobSpec
-from repro.slurm.cli import sacct, sinfo, squeue, sworkflow
+from repro.slurm.cli import main, sacct, sinfo, squeue, sworkflow
 
 from tests.conftest import build_slurm_cluster
 
@@ -62,3 +62,35 @@ class TestCli:
         assert out.count("alloc") == 2  # alpha holds both nodes
         c.sim.run(b.done)
         assert sinfo(ctld).count("idle") == 2
+
+
+class TestReplayCommand:
+    def test_replay_synth_prints_report(self, capsys):
+        rc = main(["replay", "--synth", "12", "--preset", "small_test",
+                   "--interarrival", "5", "--compression", "4",
+                   "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace replay" in out and "outcomes" in out
+        assert "completed" in out
+
+    def test_replay_trace_file_roundtrip(self, tmp_path, capsys):
+        from repro.traces import SynthesisConfig, dump_jsonl, synthesize
+        path = str(tmp_path / "t.jsonl")
+        dump_jsonl(synthesize(SynthesisConfig(
+            n_jobs=8, staged_fraction=0.0, mean_interarrival=5.0,
+            mean_runtime=30.0, max_nodes=2), seed=1), path)
+        rc = main(["replay", "--trace", path, "--preset", "small_test",
+                   "--compression", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "JOBS" in out
+
+    def test_replay_save_trace(self, tmp_path, capsys):
+        saved = str(tmp_path / "out.swf")
+        rc = main(["replay", "--synth", "5", "--preset", "small_test",
+                   "--interarrival", "2", "--save-trace", saved])
+        assert rc == 0
+        from repro.traces import load_swf
+        assert load_swf(saved).n_jobs == 5
+        capsys.readouterr()

@@ -1,0 +1,142 @@
+"""Trace record model + SWF/JSONL format round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.traces import (
+    Trace, TraceError, TraceJob,
+    dump_jsonl, format_jsonl, format_swf, load_jsonl, parse_jsonl,
+    parse_swf,
+)
+
+#: A hand-written sample in Parallel-Workloads-Archive layout: header
+#: comments, then 18 whitespace-separated fields per job.
+SAMPLE_SWF = """\
+; Computer: NEXTGenIO prototype (simulated)
+; MaxNodes: 34
+; Note: preceding-job field links job 3 to job 1
+1 0 3 60 1 -1 -1 1 120 -1 1 3 -1 -1 -1 -1 -1 -1
+2 15 0 300 4 -1 -1 4 600 -1 1 5 -1 -1 -1 -1 -1 -1
+3 42 10 45.5 1 -1 -1 1 90 -1 1 3 -1 -1 -1 -1 1 27
+4 90 2 10 2 -1 -1 2 60 -1 0 7 -1 -1 -1 -1 -1 -1
+"""
+
+
+class TestSwf:
+    def test_parse_sample(self):
+        t = parse_swf(SAMPLE_SWF)
+        assert t.n_jobs == 4
+        assert len(t.comments) == 3
+        j1, j2, j3, j4 = t.sorted_jobs()
+        assert j1.job_id == 1 and j1.run_time == 60.0
+        assert j2.nodes == 4 and j2.requested_time == 600.0
+        assert j3.dependency == 1 and j3.think_time == 27.0
+        assert j3.run_time == pytest.approx(45.5)
+        assert j4.status == 0  # failed in the original log
+
+    def test_round_trip_is_byte_identical(self):
+        # format -> parse -> format must reproduce the canonical text.
+        canonical = format_swf(parse_swf(SAMPLE_SWF))
+        assert format_swf(parse_swf(canonical)) == canonical
+        # ... and the parsed traces are equal records.
+        assert parse_swf(canonical).jobs == parse_swf(SAMPLE_SWF).jobs
+
+    def test_comments_preserved(self):
+        text = format_swf(parse_swf(SAMPLE_SWF))
+        assert "; MaxNodes: 34" in text
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TraceError, match="fields"):
+            parse_swf("1 0 3 60\n")
+
+    def test_junk_number_rejected(self):
+        bad = SAMPLE_SWF.replace("45.5", "abc")
+        with pytest.raises(TraceError, match="bad number"):
+            parse_swf(bad)
+
+    def test_extra_columns_tolerated(self):
+        t = parse_swf("1 0 3 60 1 -1 -1 1 120 -1 1 3 -1 -1 -1 -1 -1 -1 99\n")
+        assert t.n_jobs == 1
+
+
+class TestJsonl:
+    def test_round_trip_preserves_extensions(self):
+        jobs = (
+            TraceJob(job_id=1, submit_time=0.0, run_time=60.0,
+                     workflow_start=True, stage_out_bytes=10 ** 9,
+                     stage_out_files=4),
+            TraceJob(job_id=2, submit_time=30.0, run_time=45.0, dep=1,
+                     stage_in_bytes=10 ** 9, stage_in_files=4,
+                     persist=True),
+        )
+        t = Trace(name="wf", jobs=jobs, comments=("hello",))
+        assert parse_jsonl(format_jsonl(t)) == t
+
+    def test_swf_fields_survive_jsonl(self):
+        t = parse_swf(SAMPLE_SWF)
+        t = dataclasses.replace(t, jobs=tuple(t.sorted_jobs()))
+        assert parse_jsonl(format_jsonl(t)).jobs == t.jobs
+
+    def test_file_round_trip(self, tmp_path):
+        t = parse_swf(SAMPLE_SWF)
+        t = dataclasses.replace(t, jobs=tuple(t.sorted_jobs()))
+        path = str(tmp_path / "trace.jsonl")
+        dump_jsonl(t, path)
+        assert load_jsonl(path, name=t.name).jobs == t.jobs
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(TraceError, match="bad JSON"):
+            parse_jsonl('{"id": 1, "submit": }\n')
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(TraceError, match="submit"):
+            parse_jsonl('{"id": 1}\n')
+
+    def test_unknown_keys_ignored(self):
+        t = parse_jsonl('{"id": 1, "submit": 0, "future_field": 3}\n')
+        assert t.n_jobs == 1
+
+
+class TestTraceModel:
+    def test_duplicate_ids_rejected(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0),
+                        TraceJob(job_id=1, submit_time=1.0)))
+        with pytest.raises(TraceError, match="duplicate"):
+            t.validate()
+
+    def test_zero_procs_rejected(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0, procs=0),))
+        with pytest.raises(TraceError, match="bad procs"):
+            t.validate()
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0,
+                                 requested_procs=-3),))
+        with pytest.raises(TraceError, match="bad requested procs"):
+            t.validate()
+
+    def test_unknown_dependency_rejected(self):
+        t = Trace(jobs=(TraceJob(job_id=2, submit_time=5.0, dep=1),))
+        with pytest.raises(TraceError, match="unknown job"):
+            t.validate()
+
+    def test_dependency_must_sort_first(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=9.0),
+                        TraceJob(job_id=2, submit_time=5.0, dep=1)))
+        with pytest.raises(TraceError, match="sort after"):
+            t.validate()
+
+    def test_normalized_marks_roots(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0),
+                        TraceJob(job_id=2, submit_time=5.0, dep=1),
+                        TraceJob(job_id=3, submit_time=9.0, dep=2)))
+        n = t.normalized()
+        roots = [j for j in n.jobs if j.workflow_start]
+        assert [j.job_id for j in roots] == [1]
+        # mid-chain jobs keep their dependency, not a start flag
+        assert n.job(2).dependency == 1 and not n.job(2).workflow_start
+
+    def test_staged_fraction(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0,
+                                 stage_in_bytes=100, stage_in_files=1),
+                        TraceJob(job_id=2, submit_time=1.0)))
+        assert t.staged_fraction == pytest.approx(0.5)
