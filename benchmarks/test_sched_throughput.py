@@ -1,0 +1,75 @@
+"""Schedule-pass throughput: pending-jobs/sec through each policy.
+
+The scheduler hot path the trace replayer leans on is the *pass*: one
+invocation of ``policy.schedule`` over the controller's incremental
+``SchedulerState``.  This benchmark times passes over hand-built states
+with 1k and 10k pending jobs (128 nodes, half busy) for every
+registered policy, so the perf trajectory of the scheduling engine is
+tracked release over release alongside the paper-figure benchmarks.
+
+Set ``SCHED_BENCH_QUICK=1`` (the CI quick mode) to bench the 1k size
+only.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.slurm.job import Job, JobSpec, JobState
+from repro.slurm.policies import SchedulerState, available_policies, \
+    create_policy
+from repro.slurm.scheduler import PriorityCalculator
+
+N_NODES = 128
+SIZES = [1000] if os.environ.get("SCHED_BENCH_QUICK") else [1000, 10000]
+
+
+def build_state(n_pending: int) -> SchedulerState:
+    """128 nodes, 64 held by running jobs, ``n_pending`` queued jobs
+    with mixed widths/limits (deterministic, no RNG)."""
+    nodes = [f"n{i:03d}" for i in range(N_NODES)]
+    state = SchedulerState(PriorityCalculator(), free_nodes=nodes)
+    for i in range(0, 64, 2):
+        r = Job(JobSpec(name=f"r{i}", nodes=2,
+                        time_limit=600.0 + 37.0 * i),
+                submit_time=0.0)
+        held = (nodes[i], nodes[i + 1])
+        state.allocate(r, held)
+        r.allocated_nodes = held
+        r.start_time = float(i)
+        r.set_state(JobState.RUNNING)
+    for i in range(n_pending):
+        j = Job(JobSpec(name=f"p{i}", nodes=1 + (i * 7) % 16,
+                        time_limit=300.0 + 60.0 * (i % 9),
+                        base_priority=float(i % 5)),
+                submit_time=float(i) * 0.25)
+        state.enqueue(j)
+    return state
+
+
+@pytest.mark.parametrize("n_pending", SIZES)
+@pytest.mark.parametrize("policy_name",
+                         [name for name, _ in available_policies()])
+def test_schedule_pass_throughput(benchmark, policy_name, n_pending):
+    state = build_state(n_pending)
+    policy = create_policy(policy_name)
+    now = float(n_pending)     # every job has aged; none is clamped
+
+    # A pass reads the state and returns decisions without mutating it
+    # (slurmctld applies them), so repeated passes are identical work.
+    decisions = policy.schedule(state, now)
+    assert decisions, f"{policy_name}: pass produced no decisions"
+
+    result = benchmark.pedantic(policy.schedule, args=(state, now),
+                                rounds=3, iterations=1)
+    per_pass = benchmark.stats.stats.mean
+    benchmark.extra_info["policy"] = policy_name
+    benchmark.extra_info["pending_jobs"] = n_pending
+    benchmark.extra_info["decisions"] = len(result)
+    benchmark.extra_info["pending_jobs_per_sec"] = n_pending / per_pass
+    print(f"\n  {policy_name:>14} @ {n_pending:>5} pending: "
+          f"{1000 * per_pass:.1f} ms/pass "
+          f"({n_pending / per_pass:,.0f} pending-jobs/s, "
+          f"{len(result)} decisions)")

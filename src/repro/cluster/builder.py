@@ -68,7 +68,13 @@ class ClusterHandle:
 
 def build(spec: ClusterSpec, seed: int = 0,
           slurm_config: Optional[SlurmConfig] = None) -> ClusterHandle:
-    """Build the cluster described by ``spec``."""
+    """Build the cluster described by ``spec``.
+
+    An explicit ``slurm_config`` wins wholesale; otherwise the spec's
+    ``scheduler_policy`` field selects the scheduling policy.
+    """
+    if slurm_config is None and spec.scheduler_policy:
+        slurm_config = SlurmConfig(policy=spec.scheduler_policy)
     sim = Simulator()
     rng = RngRegistry(seed)
     monitor = Monitor(sim)

@@ -74,6 +74,11 @@ class ClusterSpec:
     pfs_nsid: str = "lustre://"
     pfs_mount: str = "/lustre"
     urd_workers: int = 8
+    #: Scheduling policy from the :mod:`repro.slurm.policies` registry
+    #: ("fifo", "backfill", "conservative", "staging-aware", ...); the
+    #: builder passes it to slurmctld unless an explicit
+    #: :class:`~repro.slurm.slurmctld.SlurmConfig` overrides it.
+    scheduler_policy: str = "backfill"
 
     def dataspace_ids(self) -> tuple[str, ...]:
         ids = [d.dataspace_id for d in self.nodes.devices]

@@ -24,6 +24,7 @@ REGISTRY = (
     ("table4", "repro.experiments.table4_staging_impact"),
     ("table5", "repro.experiments.table5_openfoam"),
     ("replay", "repro.experiments.trace_replay"),
+    ("policies", "repro.experiments.policy_ab"),
 )
 
 

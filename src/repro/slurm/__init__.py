@@ -10,7 +10,11 @@ A simulated Slurm with the paper's additions:
 * :mod:`repro.slurm.workflow` — workflow IDs, unit-level status,
   cancel-on-failure semantics.
 * :mod:`repro.slurm.scheduler` — priority aging (workflow-aware) +
-  EASY backfill over node allocations.
+  the standalone EASY backfill facade over node allocations.
+* :mod:`repro.slurm.policies` — the pluggable scheduling engine:
+  policy interface + registry (fifo / backfill / conservative /
+  staging-aware) and the incremental :class:`SchedulerState` that
+  slurmctld maintains event by event.
 * :mod:`repro.slurm.selector` — node selection with data-aware
   placement (run the consumer where the producer's data lives).
 * :mod:`repro.slurm.staging` — stage-in/out orchestration through the
@@ -27,6 +31,10 @@ from repro.slurm.job import (
 from repro.slurm.script import parse_batch_script
 from repro.slurm.workflow import Workflow, WorkflowManager, WorkflowStatus
 from repro.slurm.scheduler import PriorityCalculator, BackfillScheduler
+from repro.slurm.policies import (
+    ScheduleDecision, SchedulerState, SchedulingPolicy,
+    available_policies, create_policy, register_policy,
+)
 from repro.slurm.selector import NodeSelector
 from repro.slurm.staging import StagingCoordinator, PersistRegistry
 from repro.slurm.slurmd import Slurmd
@@ -39,6 +47,8 @@ __all__ = [
     "parse_batch_script",
     "Workflow", "WorkflowManager", "WorkflowStatus",
     "PriorityCalculator", "BackfillScheduler",
+    "SchedulingPolicy", "SchedulerState", "ScheduleDecision",
+    "register_policy", "create_policy", "available_policies",
     "NodeSelector",
     "StagingCoordinator", "PersistRegistry",
     "Slurmd",

@@ -8,10 +8,17 @@ unique Workflow ID enabling users to be able to enquire about the
 overall status of a workflow and obtain a list of all jobs and their
 status".)
 
-The module is also runnable — ``python -m repro.slurm.cli replay ...``
-drives the trace-replay subsystem from the command line: load an SWF or
-JSONL trace (or synthesize one), build a cluster preset, replay it
-through slurmctld/urd, and print the metrics report.
+The module is also runnable — ``python -m repro.slurm.cli <command>``:
+
+* ``replay`` drives the trace-replay subsystem: load an SWF or JSONL
+  trace (or synthesize one), build a cluster preset, replay it through
+  slurmctld/urd, and print the metrics report;
+* ``run`` submits ``#SBATCH``/``#NORNS`` batch scripts to a fresh
+  cluster and prints the resulting accounting;
+* ``policies`` lists the registered scheduling policies.
+
+Both ``run`` and ``replay`` take ``--scheduler`` to pick any policy
+from the :mod:`repro.slurm.policies` registry.
 """
 
 from __future__ import annotations
@@ -19,11 +26,14 @@ from __future__ import annotations
 import argparse
 from typing import Optional
 
+from repro.slurm.policies import available_policies
 from repro.slurm.slurmctld import Slurmctld
 from repro.util.tables import render_table
 from repro.util.units import format_bytes, format_seconds
 
 __all__ = ["squeue", "sacct", "sworkflow", "sinfo", "main"]
+
+_PRESETS = ("replay_scale", "nextgenio", "small_test")
 
 
 def squeue(ctld: Slurmctld) -> str:
@@ -107,10 +117,11 @@ def _build_replay_parser(sub) -> None:
     p.add_argument("--stage-bytes", type=float, default=4e9,
                    help="mean staged bytes per workflow job")
     p.add_argument("--preset", default="replay_scale",
-                   choices=("replay_scale", "nextgenio", "small_test"),
+                   choices=_PRESETS,
                    help="cluster preset to build")
     p.add_argument("--nodes", type=int, default=0,
                    help="override the preset's node count")
+    _add_scheduler_option(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--compression", type=float, default=1.0,
                    help="time-compression factor on arrivals")
@@ -141,7 +152,6 @@ def _load_or_synthesize(args):
 
 
 def _cmd_replay(args) -> int:
-    from repro.cluster import build, nextgenio, replay_scale, small_test
     from repro.traces import ReplayConfig, TraceReplayer, dump_jsonl, dump_swf
 
     trace = _load_or_synthesize(args)
@@ -150,19 +160,98 @@ def _cmd_replay(args) -> int:
             dump_swf(trace, args.save_trace)
         else:
             dump_jsonl(trace, args.save_trace)
-    presets = {"replay_scale": replay_scale, "nextgenio": nextgenio,
-               "small_test": small_test}
-    preset = presets[args.preset]
-    spec = preset(n_nodes=args.nodes) if args.nodes else preset()
-    handle = build(spec, seed=args.seed)
+    handle = _build_preset(args)
     replayer = TraceReplayer(
         handle, trace,
         ReplayConfig(time_compression=args.compression,
                      batch_window=args.batch_window,
-                     runtime_scale=args.runtime_scale))
+                     runtime_scale=args.runtime_scale,
+                     scheduler=args.scheduler))
     report = replayer.run()
     print(report.to_text())
     return 0 if report.completed == trace.n_jobs else 1
+
+
+# -- run: batch scripts through a fresh cluster -------------------------
+def _build_run_parser(sub) -> None:
+    p = sub.add_parser(
+        "run",
+        help="submit #SBATCH/#NORNS batch scripts and print accounting",
+        description="Build a cluster preset, submit each batch script "
+                    "in order, run the simulation to drain and print "
+                    "the squeue/sacct views.  Scripts carry no "
+                    "executable payload; their staging directives, "
+                    "workflow options and time limits drive the run.")
+    p.add_argument("scripts", nargs="+", metavar="SCRIPT",
+                   help="batch script files, submitted in order")
+    p.add_argument("--preset", default="small_test", choices=_PRESETS,
+                   help="cluster preset to build")
+    p.add_argument("--nodes", type=int, default=0,
+                   help="override the preset's node count")
+    _add_scheduler_option(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_run)
+
+
+def _cmd_run(args) -> int:
+    handle = _build_preset(args)
+    ctld = handle.ctld
+    jobs = []
+    for path in args.scripts:
+        with open(path) as fh:
+            jobs.append(ctld.submit_script(fh.read()))
+    handle.sim.run(ctld.drain())
+    print(sacct(ctld))
+    failed = [j for j in jobs if j.state.value != "completed"]
+    for job in failed:
+        print(f"job {job.job_id} ({job.spec.name}): {job.state.value}"
+              f"{' - ' + job.reason if job.reason else ''}")
+    return 1 if failed else 0
+
+
+# -- policies: registry listing -----------------------------------------
+def _build_policies_parser(sub) -> None:
+    p = sub.add_parser(
+        "policies",
+        help="list the registered scheduling policies",
+        description="Show every policy in the repro.slurm.policies "
+                    "registry (usable with --scheduler, cluster preset "
+                    "scheduler_policy and SlurmConfig.policy).")
+    p.set_defaults(func=_cmd_policies)
+
+
+def _cmd_policies(_args) -> int:
+    rows = [(name, summary) for name, summary in available_policies()]
+    print(render_table(("POLICY", "DESCRIPTION"), rows,
+                       title="scheduling policies"))
+    return 0
+
+
+# -- shared helpers ------------------------------------------------------
+def _add_scheduler_option(p) -> None:
+    names = [name for name, _ in available_policies()]
+    p.add_argument("--scheduler", default="", choices=[""] + names,
+                   metavar="POLICY",
+                   help="scheduling policy (see the 'policies' "
+                        f"subcommand; one of: {', '.join(names)}); "
+                        "default: the preset's policy")
+
+
+def _build_preset(args):
+    from repro.cluster import build, nextgenio, replay_scale, small_test
+
+    presets = {"replay_scale": replay_scale, "nextgenio": nextgenio,
+               "small_test": small_test}
+    preset = presets[args.preset]
+    kwargs = {}
+    if args.nodes:
+        kwargs["n_nodes"] = args.nodes
+    if getattr(args, "scheduler", "") and args.command != "replay":
+        # replay applies --scheduler through ReplayConfig instead, so
+        # the report labels itself with the chosen policy.
+        kwargs["scheduler"] = args.scheduler
+    spec = preset(**kwargs)
+    return build(spec, seed=args.seed)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -172,6 +261,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                     "stack.")
     sub = parser.add_subparsers(dest="command", required=True)
     _build_replay_parser(sub)
+    _build_run_parser(sub)
+    _build_policies_parser(sub)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -10,15 +10,24 @@ job gets a reservation (its *shadow time* computed from running jobs'
 expected completions, which include staging E.T.A.s); lower-priority
 jobs may start only if they fit on non-reserved nodes or finish before
 the shadow time.
+
+:class:`BackfillScheduler` is the self-contained, sequence-in/
+decisions-out form of the logic, kept for direct use in unit tests and
+standalone studies.  slurmctld itself drives the pluggable engine in
+:mod:`repro.slurm.policies`, which reuses the same primitives
+(:class:`PriorityCalculator`, shadow computation, and the
+:class:`~repro.util.ordered_set.OrderedNodeSet` free-node bookkeeping
+that keeps allocation O(1) per node instead of O(n) list removal).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.slurm.job import Job, JobState
+from repro.slurm.job import Job
+from repro.slurm.policies.base import ScheduleDecision, SchedulingPolicy
 from repro.slurm.workflow import WorkflowManager
+from repro.util.ordered_set import OrderedNodeSet
 
 __all__ = ["PriorityCalculator", "BackfillScheduler", "ScheduleDecision"]
 
@@ -39,17 +48,8 @@ class PriorityCalculator:
         return job.spec.base_priority + self.age_weight * age
 
 
-@dataclass
-class ScheduleDecision:
-    """One job chosen to start and the nodes it gets."""
-
-    job: Job
-    nodes: tuple[str, ...]
-    backfilled: bool = False
-
-
 class BackfillScheduler:
-    """Pure decision logic — no clocks, no I/O; slurmctld drives it."""
+    """Pure decision logic — no clocks, no I/O; the caller drives it."""
 
     def __init__(self, priorities: Optional[PriorityCalculator] = None,
                  backfill: bool = True) -> None:
@@ -69,7 +69,7 @@ class BackfillScheduler:
         jobs.  ``selector`` orders candidate nodes for each job
         (data-aware placement); default is name order.
         """
-        free = list(free_nodes)
+        free = OrderedNodeSet(free_nodes)
         decisions: List[ScheduleDecision] = []
         order = sorted(
             pending,
@@ -80,18 +80,16 @@ class BackfillScheduler:
         # Running-job completion times, presorted lazily on the first
         # blocked job and reused for the rest of the pass.  EASY takes
         # a single reservation so today this is computed at most once;
-        # keeping the sort out of _shadow means policies that reserve
-        # for several blocked jobs stay O(running log running) per
-        # pass instead of per blocked job.
+        # keeping the sort out of the shadow step means policies that
+        # reserve for several blocked jobs stay O(running log running)
+        # per pass instead of per blocked job.
         completions: Optional[list] = None
 
         for job in order:
-            need = job.spec.nodes
             if reserved_until is None:
                 if self._fits(job, free):
-                    nodes = self._pick(job, free, selector)
-                    for n in nodes:
-                        free.remove(n)
+                    nodes = self._pick(job, free.sorted(), selector)
+                    free.discard_many(nodes)
                     decisions.append(ScheduleDecision(job, tuple(nodes)))
                 else:
                     if not self.backfill:
@@ -100,67 +98,34 @@ class BackfillScheduler:
                     if completions is None:
                         completions = self._completion_events(now, running)
                     reserved_until, reserved_nodes = self._shadow(
-                        job, now, free, completions)
+                        job, now, free.sorted(), completions)
             else:
                 # Backfill: must not delay the reservation.
                 if not self._fits(job, free):
                     continue
-                candidate = [n for n in free if n not in reserved_nodes]
+                candidate = [n for n in free.sorted()
+                             if n not in reserved_nodes]
                 fits_outside = self._fits(job, candidate)
                 finishes_in_time = (now + job.spec.time_limit
                                     <= reserved_until)
                 if fits_outside:
                     nodes = self._pick(job, candidate, selector)
                 elif finishes_in_time:
-                    nodes = self._pick(job, free, selector)
+                    nodes = self._pick(job, free.sorted(), selector)
                 else:
                     continue
-                for n in nodes:
-                    free.remove(n)
+                free.discard_many(nodes)
                 decisions.append(ScheduleDecision(job, tuple(nodes),
                                                   backfilled=True))
         return decisions
 
-    @staticmethod
-    def _fits(job: Job, available: Sequence[str]) -> bool:
-        if job.spec.nodelist:
-            return set(job.spec.nodelist) <= set(available)
-        return job.spec.nodes <= len(available)
-
-    def _pick(self, job: Job, available: Sequence[str],
-              selector) -> list[str]:
-        if job.spec.nodelist:
-            # sbatch -w: exact nodes, in the order given (rank order).
-            return list(job.spec.nodelist)
-        if selector is not None:
-            ordered = selector.order(job, available)
-        else:
-            ordered = sorted(available)
-        return list(ordered[:job.spec.nodes])
+    # The geometry helpers live on SchedulingPolicy so the legacy
+    # facade and every registered policy share one implementation.
+    _fits = staticmethod(SchedulingPolicy.fits)
 
     @staticmethod
-    def _completion_events(now: float,
-                           running: Sequence[Job]) -> list[tuple]:
-        """Expected (end, nodes) of every running job, soonest first."""
-        events = []
-        for r in running:
-            end = r.expected_end if r.expected_end is not None \
-                else now + r.spec.time_limit
-            events.append((end, r.allocated_nodes))
-        events.sort(key=lambda e: e[0])
-        return events
+    def _pick(job: Job, available: Sequence[str], selector) -> list[str]:
+        return SchedulingPolicy.pick(job, available, selector)
 
-    def _shadow(self, job: Job, now: float, free: Sequence[str],
-                events: Sequence[tuple]) -> tuple[float, set[str]]:
-        """When (and where) will the blocked head job be able to run?
-
-        ``events`` is the presorted output of :meth:`_completion_events`.
-        """
-        avail = set(free)
-        for end, nodes in events:
-            avail.update(nodes)
-            if len(avail) >= job.spec.nodes:
-                return end, set(list(sorted(avail))[:job.spec.nodes])
-        # Never enough nodes: reserve everything far in the future.
-        horizon = max((e[0] for e in events), default=now) + job.spec.time_limit
-        return horizon, avail
+    _completion_events = staticmethod(SchedulingPolicy.completion_events)
+    _shadow = staticmethod(SchedulingPolicy.shadow)

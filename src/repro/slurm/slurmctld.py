@@ -14,7 +14,13 @@ The control flow per job follows Section III end to end::
                                             unregister, release nodes
 
 Scheduling is event-driven: every submission, completion or staging
-transition queues a wake-up that re-runs the backfill pass.
+transition queues a wake-up that kicks the scheduling engine.  The
+engine is pluggable (:mod:`repro.slurm.policies`): the controller
+maintains an incremental :class:`~repro.slurm.policies.SchedulerState`
+(priority-indexed pending queue, O(1) free-node set, dirty flags) and
+the configured :class:`~repro.slurm.policies.SchedulingPolicy` turns it
+into allocation decisions — a pass re-examines only what changed
+instead of rescanning every job per event.
 """
 
 from __future__ import annotations
@@ -30,7 +36,8 @@ from repro.sim.primitives import all_of, any_of
 from repro.sim.resources import Store
 from repro.slurm.accounting import AccountingLog
 from repro.slurm.job import Job, JobSpec, JobState
-from repro.slurm.scheduler import BackfillScheduler, PriorityCalculator
+from repro.slurm.policies import SchedulerState, create_policy
+from repro.slurm.scheduler import PriorityCalculator
 from repro.slurm.script import parse_batch_script
 from repro.slurm.selector import NodeSelector
 from repro.slurm.slurmd import Slurmd
@@ -51,9 +58,21 @@ class SlurmConfig:
     data_aware_placement: bool = True
     #: Age factor for priorities (per second).
     age_weight: float = 1.0 / 3600.0
-    #: Upper bound on concurrent scheduling passes' look-ahead — kept
-    #: for interface completeness.
+    #: Legacy ablation switch: ``backfill=False`` selects the strict
+    #: FIFO policy, exactly as before the policy engine existed.
     backfill: bool = True
+    #: Scheduling-policy name from the :mod:`repro.slurm.policies`
+    #: registry ("fifo", "backfill", "conservative", "staging-aware",
+    #: ...).  Empty = derive from the legacy ``backfill`` flag.
+    policy: str = ""
+    #: Keyword options forwarded to the policy constructor.
+    policy_options: Optional[Dict[str, object]] = None
+
+    def resolved_policy(self) -> str:
+        """The effective policy name."""
+        if self.policy:
+            return self.policy
+        return "backfill" if self.backfill else "fifo"
 
 
 class Slurmctld:
@@ -71,14 +90,23 @@ class Slurmctld:
         self.staging = StagingCoordinator(sim, slurmds, self.persist)
         self.selector = NodeSelector(
             self.persist, data_aware=self.config.data_aware_placement)
-        self.scheduler = BackfillScheduler(
-            PriorityCalculator(self.config.age_weight),
-            backfill=self.config.backfill)
+        self.priorities = PriorityCalculator(self.config.age_weight)
+        self.state = SchedulerState(
+            self.priorities, workflows=self.workflows,
+            selector=self.selector, free_nodes=slurmds,
+            stage_in_estimator=self._estimate_stage_in_seconds)
+        self.policy = create_policy(self.config.resolved_policy(),
+                                    **(self.config.policy_options or {}))
         self.accounting = AccountingLog()
         self._jobs: Dict[int, Job] = {}
-        self._free_nodes: set[str] = set(slurmds)
         self._events: Store = Store(sim, name="slurmctld:events")
         sim.process(self._main_loop(), name="slurmctld")
+
+    def set_policy(self, name: str, **options) -> None:
+        """Swap the scheduling policy (takes effect on the next pass)."""
+        self.policy = create_policy(name, **options)
+        self.config.policy = name
+        self.state.mark_dirty()
 
     # ------------------------------------------------------------------
     # Submission interface
@@ -93,6 +121,7 @@ class Slurmctld:
         job.done = self.sim.event(name=f"job:{job.job_id}:done")
         self._jobs[job.job_id] = job
         self.workflows.place_job(job)
+        self.state.enqueue(job)
         rec = self.accounting.record_for(job.job_id, spec.name, spec.user)
         rec.submit_time = self.sim.now
         rec.workflow_id = job.workflow_id
@@ -110,6 +139,7 @@ class Slurmctld:
         if job.state.is_terminal:
             return
         if job.state == JobState.PENDING:
+            self.state.dequeue(job)
             job.set_state(JobState.CANCELLED, reason)
             self._finish_accounting(job)
         else:
@@ -117,6 +147,10 @@ class Slurmctld:
                 if proc.is_alive:
                     proc.interrupt(reason)
             job.set_state(JobState.CANCELLED, reason)
+            # The dying job left running_jobs() (is_active) without any
+            # SchedulerState mutation — mark dirty so the kick's pass
+            # actually re-plans around its disappearance.
+            self.state.mark_dirty()
         self._kick()
 
     # -- queries ----------------------------------------------------------
@@ -136,7 +170,7 @@ class Slurmctld:
 
     @property
     def free_nodes(self) -> frozenset[str]:
-        return frozenset(self._free_nodes)
+        return frozenset(self.state.free.as_set())
 
     def drain(self):
         """Event firing when no job is pending or active."""
@@ -159,35 +193,38 @@ class Slurmctld:
                     break
             self._schedule_pass()
 
-    def _eligible(self, job: Job) -> bool:
-        if job.state != JobState.PENDING:
-            return False
-        if job.workflow_id is not None:
-            wf = self.workflows.workflow(job.workflow_id)
-            if not wf.is_runnable(job.job_id):
-                return False
-        return True
-
     def _schedule_pass(self) -> None:
-        pending = [j for j in self._jobs.values() if self._eligible(j)]
-        running = [j for j in self._jobs.values() if j.state.is_active]
-        # Data-aware hints: a workflow job prefers its producers' nodes.
-        for job in pending:
-            if job.workflow_id is not None:
-                wf = self.workflows.workflow(job.workflow_id)
-                hints: list[str] = []
-                for producer in wf.producers_of(job.job_id):
-                    hints.extend(producer.allocated_nodes)
-                job.data_hints = tuple(dict.fromkeys(hints))
-        decisions = self.scheduler.schedule(
-            self.sim.now, pending, sorted(self._free_nodes), running,
-            workflows=self.workflows, selector=self.selector)
+        if not self.state.consume_dirty():
+            return  # nothing changed since the last pass
+        decisions = self.policy.schedule(self.state, self.sim.now)
         for d in decisions:
-            for n in d.nodes:
-                self._free_nodes.discard(n)
+            self.state.allocate(d.job, d.nodes)
             d.job.allocated_nodes = d.nodes
             self.sim.process(self._run_job(d.job),
                              name=f"jobctl:{d.job.job_id}")
+        if decisions:
+            # The pass is synchronous, so the only dirt accumulated
+            # since consume_dirty() is our own allocations — clear it
+            # or every post-allocation kick forces a full re-scan.
+            self.state.consume_dirty()
+
+    def _estimate_stage_in_seconds(self, job: Job) -> float:
+        """Predicted stage-in duration from declared volumes and the
+        urds' observed transfer rates (the staging-aware policy input).
+
+        Uses the same E.T.A. machinery the urd exposes to slurmctld
+        (Section IV-A): bytes under each stage-in origin over the mean
+        observed PFS→node-local rate across nodes.
+        """
+        total_bytes = self.staging.stage_in_bytes(job)
+        if total_bytes <= 0:
+            return 0.0
+        rates = [sd.urd.tracker.rate(("shared", "local"))
+                 for sd in self.slurmds.values()]
+        mean_rate = sum(rates) / len(rates)
+        if mean_rate <= 0:
+            return 0.0
+        return total_bytes / mean_rate
 
     # ------------------------------------------------------------------
     # Per-job lifecycle
@@ -220,6 +257,9 @@ class Slurmctld:
 
         if job.state.is_terminal:   # cancelled during staging
             yield from self._release(job)
+            # Without this wake-up the freed nodes sit idle until the
+            # next unrelated event — pending jobs could starve forever.
+            self._kick()
             return
 
         # Run the job steps.
@@ -285,6 +325,7 @@ class Slurmctld:
         if job.workflow_id is not None:
             wf = self.workflows.workflow(job.workflow_id)
             for cancelled in wf.cancel_dependents(job.job_id):
+                self.state.dequeue(cancelled)
                 self._finish_accounting(cancelled)
         self._finish_accounting(job)
         self._kick()
@@ -303,8 +344,7 @@ class Slurmctld:
         yield all_of(self.sim, [
             self.sim.process(self.slurmds[n].unconfigure_job(job))
             for n in job.allocated_nodes])
-        for n in job.allocated_nodes:
-            self._free_nodes.add(n)
+        self.state.release(job)
 
     def _finish_accounting(self, job: Job) -> None:
         rec = self.accounting.record_for(job.job_id)

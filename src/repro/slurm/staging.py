@@ -212,6 +212,31 @@ class StagingCoordinator:
             return []
         return [(p, c.size) for p, c in ns.walk_files(prefix)]
 
+    # -- volume estimation ------------------------------------------------
+    def stage_in_bytes(self, job: Job, node: Optional[str] = None) -> int:
+        """Total bytes the job's stage_in directives would move today.
+
+        The scheduler-side input to staging E.T.A.s: expands each
+        origin on the shared filesystem exactly as :meth:`stage_in`
+        will, accounting for the mapping (``replicate`` multiplies by
+        the allocation width).  Origins that do not exist yet (data not
+        produced) contribute zero rather than failing — an estimate,
+        not a precondition check.
+        """
+        node = node if node is not None else next(iter(self.slurmds))
+        total = 0
+        for directive in job.spec.stage_in:
+            src_nsid, src_prefix = split_locator(directive.origin)
+            try:
+                files = self._expand_shared(node, src_nsid, src_prefix)
+            except (StagingFailure, SlurmError):
+                continue
+            nbytes = sum(size for _path, size in files)
+            if directive.mapping == "replicate":
+                nbytes *= job.spec.nodes
+            total += nbytes
+        return total
+
     # -- stage in -----------------------------------------------------------
     def stage_in(self, job: Job, timeout: Optional[float] = None):
         """Generator: run all stage_in directives; raises

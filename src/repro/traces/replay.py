@@ -60,6 +60,11 @@ class ReplayConfig:
     bounded_slowdown_tau: float = 10.0
     #: floor on the derived per-job time limit (seconds).
     min_time_limit: float = 600.0
+    #: scheduling-policy name (:mod:`repro.slurm.policies` registry) to
+    #: replay under; "" keeps the cluster's configured policy and the
+    #: legacy report layout.  When set, the report head grows a POLICY
+    #: column so per-policy A/B runs label themselves.
+    scheduler: str = ""
 
     def __post_init__(self) -> None:
         if self.time_compression <= 0:
@@ -67,6 +72,13 @@ class ReplayConfig:
         if self.batch_window < 0 or self.runtime_scale <= 0 \
                 or self.data_scale <= 0:
             raise ReproError("bad replay config")
+        if self.scheduler:
+            from repro.slurm.policies import available_policies
+            names = {name for name, _ in available_policies()}
+            if self.scheduler not in names:
+                raise ReproError(
+                    f"unknown scheduler {self.scheduler!r} "
+                    f"(registered: {', '.join(sorted(names))})")
 
 
 @dataclass
@@ -98,6 +110,8 @@ class ReplayReport:
     n_nodes: int
     time_compression: float
     batch_window: float
+    #: scheduling-policy label; "" = cluster default (legacy layout).
+    policy: str = ""
     metrics: List[JobMetric] = field(default_factory=list)
     state_counts: Dict[str, int] = field(default_factory=dict)
     makespan: float = 0.0
@@ -155,12 +169,20 @@ class ReplayReport:
 
     # -- rendering -------------------------------------------------------
     def to_text(self) -> str:
-        """Deterministic plain-text report (no wall-clock content)."""
-        head = render_table(
-            ("TRACE", "JOBS", "NODES", "COMPRESSION", "BATCH-WINDOW"),
-            [(self.trace_name, self.n_jobs, self.n_nodes,
-              f"{self.time_compression:g}x", f"{self.batch_window:g}s")],
-            title="trace replay")
+        """Deterministic plain-text report (no wall-clock content).
+
+        The POLICY column appears only when a policy was explicitly
+        selected, keeping default-policy output byte-stable across the
+        scheduling-engine refactor.
+        """
+        headers = ["TRACE", "JOBS", "NODES", "COMPRESSION", "BATCH-WINDOW"]
+        row = [self.trace_name, self.n_jobs, self.n_nodes,
+               f"{self.time_compression:g}x", f"{self.batch_window:g}s"]
+        if self.policy:
+            headers.append("POLICY")
+            row.append(self.policy)
+        head = render_table(tuple(headers), [tuple(row)],
+                            title="trace replay")
         states = render_table(
             ("STATE", "JOBS"),
             [(s, n) for s, n in sorted(self.state_counts.items())],
@@ -210,11 +232,14 @@ class TraceReplayer:
             j.job_id: j for j in self.trace.jobs}
         self._produced_bytes = 0
         self._start = self.sim.now
+        if self.config.scheduler:
+            self.ctld.set_policy(self.config.scheduler)
         n = len(handle.ctld.slurmds)
         self.report = ReplayReport(
             trace_name=self.trace.name, n_jobs=self.trace.n_jobs,
             n_nodes=n, time_compression=self.config.time_compression,
-            batch_window=self.config.batch_window)
+            batch_window=self.config.batch_window,
+            policy=self.config.scheduler)
 
     # -- public ----------------------------------------------------------
     def run(self) -> ReplayReport:

@@ -1,4 +1,4 @@
-"""Small shared utilities: units, statistics, table rendering."""
+"""Small shared utilities: units, statistics, tables, ordered sets."""
 
 from repro.util.units import (
     KiB, MiB, GiB, TiB, KB, MB, GB, TB,
@@ -6,9 +6,10 @@ from repro.util.units import (
 )
 from repro.util.stats import summarize, Summary
 from repro.util.tables import render_table
+from repro.util.ordered_set import OrderedNodeSet
 
 __all__ = [
     "KiB", "MiB", "GiB", "TiB", "KB", "MB", "GB", "TB",
     "format_bytes", "format_rate", "format_seconds", "parse_size",
-    "summarize", "Summary", "render_table",
+    "summarize", "Summary", "render_table", "OrderedNodeSet",
 ]

@@ -94,3 +94,45 @@ class TestReplayCommand:
         from repro.traces import load_swf
         assert load_swf(saved).n_jobs == 5
         capsys.readouterr()
+
+    def test_replay_with_scheduler_flag(self, capsys):
+        rc = main(["replay", "--synth", "8", "--preset", "small_test",
+                   "--interarrival", "5", "--compression", "4",
+                   "--scheduler", "fifo"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "POLICY" in out and "fifo" in out
+
+
+class TestPoliciesCommand:
+    def test_lists_all_registered_policies(self, capsys):
+        rc = main(["policies"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("fifo", "backfill", "conservative", "staging-aware"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_runs_batch_scripts_and_prints_accounting(self, tmp_path,
+                                                      capsys):
+        script = tmp_path / "job.sbatch"
+        script.write_text("#!/bin/bash\n"
+                          "#SBATCH --job-name=hello\n"
+                          "#SBATCH --nodes=2\n"
+                          "#SBATCH --time=00:10\n")
+        rc = main(["run", str(script), "--preset", "small_test",
+                   "--scheduler", "conservative"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hello" in out and "completed" in out
+
+    def test_workflow_scripts_run_in_dependency_order(self, tmp_path,
+                                                      capsys):
+        first = tmp_path / "first.sbatch"
+        first.write_text("#SBATCH --job-name=phase1\n"
+                         "#SBATCH --workflow-start\n")
+        rc = main(["run", str(first), "--preset", "small_test"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "phase1" in out
