@@ -99,7 +99,7 @@ class Fabric:
         a staging transfer is simultaneously bounded by the network *and*
         the storage medium it lands on.
         """
-        constraints = list(self.route(src, dst)) + list(extra_constraints)
+        constraints = (*self.route(src, dst), *extra_constraints)
         done = self.sim.event(name=f"fabric:{src}->{dst}")
         flow_done = self.flows.transfer(size, constraints, rate_cap,
                                         label=label or f"{src}->{dst}")

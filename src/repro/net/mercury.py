@@ -143,9 +143,9 @@ class MercuryEndpoint:
 
     def _bulk(self, src: str, dst: str, size: float, cap: Optional[float],
               extra_constraints) -> Event:
-        extras = list(extra_constraints)
+        extras = tuple(extra_constraints)
         if src != dst:
-            extras.append(self.network.connection(src, dst, cap))
+            extras = (*extras, self.network.connection(src, dst, cap))
         return self.network.fabric.transfer(
             src, dst, size, rate_cap=None, extra_constraints=extras,
             label=f"bulk:{src}->{dst}")

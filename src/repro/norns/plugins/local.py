@@ -28,7 +28,7 @@ class MemoryToLocalPlugin(TransferPlugin):
         dst_ds = ctx.controller.resolve(task.dst.nsid)
         size = task.src.size
         task.stats.bytes_total = size
-        extras = [ctx.membus] if ctx.membus is not None else []
+        extras = (ctx.membus,) if ctx.membus is not None else ()
         content = FileContent.synthesize(
             f"mem:{ctx.node}:pid{task.pid}", size)
         yield dst_ds.backend.write_file(task.dst.path, size,
@@ -52,7 +52,7 @@ class LocalToLocalPlugin(TransferPlugin):
         # the two fair shares, like sendfile between two block devices.
         yield dst_ds.backend.write_file(
             task.dst.path, content.size,
-            extra_constraints=[src_ds.backend.read_constraint],
+            extra_constraints=(src_ds.backend.read_constraint,),
             content=content)
         if task.task_type == TaskType.MOVE:
             src_ds.backend.delete(task.src.path)

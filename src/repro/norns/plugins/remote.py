@@ -69,10 +69,10 @@ class _RemotePushMixin:
         yield ctx.sim.process(_rpc(ctx, host, "norns.push.prepare", req))
         # 2. bulk: the target pulls from us (paper: RDMA_PULL at target).
         dst_backend = _remote_backend(ctx, host, task.dst.nsid)
-        extras = list(src_constraints)
+        extras = tuple(src_constraints)
         wc = getattr(dst_backend, "write_constraint", None)
         if wc is not None:
-            extras.append(wc)
+            extras = (*extras, wc)
         yield ctx.endpoint.bulk_push(host, content.size,
                                      extra_constraints=extras)
         # 3. commit: the target publishes the file in its namespace.
@@ -109,7 +109,7 @@ class MemoryToRemotePlugin(_RemotePushMixin, TransferPlugin):
         size = task.src.size
         task.stats.bytes_total = size
         content = FileContent.synthesize(f"mem:{ctx.node}:pid{task.pid}", size)
-        extras = [ctx.membus] if ctx.membus is not None else []
+        extras = (ctx.membus,) if ctx.membus is not None else ()
         moved = yield ctx.sim.process(self._push(ctx, task, content, extras))
         return moved
 
@@ -133,10 +133,10 @@ class RemoteToLocalPlugin(TransferPlugin):
         #    the connection cap and our local write path.
         src_backend = _remote_backend(ctx, host, task.src.nsid)
         dst_ds = ctx.controller.resolve(task.dst.nsid)
-        extras = [dst_ds.backend.write_constraint]
+        extras = (dst_ds.backend.write_constraint,)
         rc = getattr(src_backend, "read_constraint", None)
         if rc is not None:
-            extras.append(rc)
+            extras = (*extras, rc)
         yield ctx.endpoint.bulk_pull(host, content.size,
                                      extra_constraints=extras)
         # Publish locally (bytes already landed through the timed flow).
@@ -165,11 +165,11 @@ class RemoteToMemoryPlugin(TransferPlugin):
                 f"buffer ({task.dst.size}B) smaller than file ({size}B)")
         task.stats.bytes_total = size
         src_backend = _remote_backend(ctx, host, task.src.nsid)
-        extras = []
+        extras = ()
         rc = getattr(src_backend, "read_constraint", None)
         if rc is not None:
-            extras.append(rc)
+            extras = (rc,)
         if ctx.membus is not None:
-            extras.append(ctx.membus)
+            extras = (*extras, ctx.membus)
         yield ctx.endpoint.bulk_pull(host, size, extra_constraints=extras)
         return size

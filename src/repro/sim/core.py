@@ -16,6 +16,13 @@ The kernel follows the SimPy execution model, reimplemented from scratch:
   event's value (or the exception is thrown into it).  A process is
   itself an event that fires when the generator returns, so processes
   compose (``yield child_process``).
+* A :class:`TimeoutHandle` (from :meth:`Simulator.cancellable_timeout`)
+  is a timeout that can be revoked after scheduling.  Cancellation is
+  *lazy*: removing an arbitrary entry from a binary heap is O(n), so a
+  cancelled timeout stays on the calendar but is skipped in O(1) when
+  popped — it runs no callbacks and does not count as a processed
+  event.  The flow engine uses this to supersede stale ``flow:wake``
+  events without growing the calendar on every reallocation.
 
 Virtual time is a float in **seconds**.  Nothing in the kernel sleeps on
 the wall clock; a million simulated requests run in however long the
@@ -30,7 +37,8 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import Interrupted, InvalidEventState, SimError, SimulationEnded
 
-__all__ = ["Event", "Process", "Simulator", "PENDING", "TRIGGERED", "PROCESSED"]
+__all__ = ["Event", "Process", "Simulator", "TimeoutHandle",
+           "PENDING", "TRIGGERED", "PROCESSED"]
 
 #: Event lifecycle states.
 PENDING = "pending"
@@ -52,7 +60,8 @@ class Event:
     finished task" race-free, which NORNS' completion queries rely on).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name",
+                 "_defunct")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -61,6 +70,8 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._state = PENDING
+        #: Lazily-deleted calendar entry: skipped at pop time.
+        self._defunct = False
 
     # -- inspection ---------------------------------------------------
     @property
@@ -212,6 +223,40 @@ class Process(Event):
             return
 
 
+class TimeoutHandle:
+    """A scheduled timeout that can be revoked (lazy deletion).
+
+    Returned by :meth:`Simulator.cancellable_timeout`.  ``cancel()``
+    marks the underlying calendar entry defunct: the heap entry remains
+    (heap removal is O(n)) but the simulator skips it in O(1) when it
+    surfaces — no callbacks run and it does not count as a processed
+    event.  Cancelling an already-fired or already-cancelled timeout is
+    a no-op returning ``False``.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+    @property
+    def active(self) -> bool:
+        """True while the timeout is scheduled and not cancelled."""
+        return self.event._state == TRIGGERED and not self.event._defunct
+
+    def cancel(self) -> bool:
+        ev = self.event
+        if ev._state == PROCESSED or ev._defunct:
+            return False
+        ev._defunct = True
+        ev.callbacks.clear()
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.event._defunct else self.event._state
+        return f"<TimeoutHandle {self.event.name!r} {state}>"
+
+
 class Simulator:
     """The event loop: a calendar of ``(time, priority, seq, event)``.
 
@@ -243,6 +288,31 @@ class Simulator:
         ev.succeed(value, delay=delay)
         return ev
 
+    def cancellable_timeout(self, delay: Optional[float] = None, *,
+                            at: Optional[float] = None, value: Any = None,
+                            name: str = "") -> TimeoutHandle:
+        """A timeout that can be revoked; returns a :class:`TimeoutHandle`.
+
+        Exactly one of ``delay`` (relative) or ``at`` (absolute virtual
+        time) must be given.  ``at`` schedules the entry at that exact
+        float key — callers that derived a deadline as ``now + dt``
+        earlier can hit it bit-exactly without re-deriving it through a
+        second addition.
+        """
+        if (delay is None) == (at is None):
+            raise SimError("cancellable_timeout needs exactly one of "
+                           "delay= or at=")
+        when = self.now + delay if at is None else float(at)
+        if when < self.now:
+            raise SimError(f"cancellable timeout at {when} lies in the past "
+                           f"(now={self.now})")
+        ev = Event(self, name or f"cancellable({when})")
+        ev._ok = True
+        ev._value = value
+        ev._state = TRIGGERED
+        heapq.heappush(self._heap, (when, NORMAL, next(self._seq), ev))
+        return TimeoutHandle(ev)
+
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start a new process from a generator at the current instant."""
         return Process(self, gen, name)
@@ -264,6 +334,10 @@ class Simulator:
         if when < self.now:  # pragma: no cover - defensive
             raise SimError("event scheduled in the past")
         self.now = when
+        if event._defunct:
+            # Lazily-deleted entry (cancelled timeout): skip in O(1).
+            event._state = PROCESSED
+            return
         event._state = PROCESSED
         callbacks, event.callbacks = event.callbacks, []
         self._event_count += 1

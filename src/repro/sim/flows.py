@@ -21,37 +21,66 @@ only needs an event at the earliest completion time.  Whenever the flow
 set changes, remaining sizes are advanced to *now* and rates are
 recomputed.  This is the classical fluid approximation used by network
 simulators; it reproduces contention curves (Fig. 1), per-stream
-saturation (Figs. 6–7) and device aggregation (Fig. 8) with O(flows ×
-constraints) work per change instead of per-packet events.
+saturation (Figs. 6–7) and device aggregation (Fig. 8).
+
+Component partitioning
+----------------------
+Two flows influence each other's rates only if they are connected in
+the flow↔constraint bipartite graph.  :class:`FlowScheduler` therefore
+maintains the graph's **connected components** (merge on attach,
+rebuild-on-detach) and, on any membership change, advances and
+reallocates *only the touched component*: per-component ``last_update``
+stamps mean untouched components are never scanned, and per-component
+completion deadlines feed a single lazily-cancelled ``flow:wake``
+timeout (see :class:`~repro.sim.core.TimeoutHandle`).  The cost of a
+flow start/finish/cancel is proportional to the size of the affected
+contention domain — O(touched) — instead of O(flows × constraints)
+across the whole cluster.  Single-flow components (the overwhelmingly
+common case for node-local NVM/DCPMM transfers) take a closed-form
+shortcut that skips progressive filling entirely.
+
+:class:`ReferenceFlowScheduler` retains the original global algorithm —
+advance every flow, re-run progressive filling over the full flow set
+per change — as the oracle for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import SimError
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Simulator, TimeoutHandle
 
-__all__ = ["CapacityConstraint", "Flow", "FlowScheduler"]
+__all__ = ["CapacityConstraint", "Flow", "FlowScheduler",
+           "ReferenceFlowScheduler"]
 
 #: Tolerance for "this constraint is saturated" comparisons.
 _EPS = 1e-9
 
 
 class CapacityConstraint:
-    """A shared medium with a fixed capacity in bytes/second."""
+    """A shared medium with a fixed capacity in bytes/second.
 
-    __slots__ = ("name", "capacity", "_flows", "_monitor_cb")
+    ``load`` is maintained incrementally by the scheduler whenever the
+    rates of the flows crossing this constraint change, so reading it
+    (e.g. for monitor sampling) is O(1) and never scans flows.
+    """
+
+    __slots__ = ("name", "capacity", "_flows", "_load", "_component")
 
     def __init__(self, name: str, capacity: float) -> None:
         if capacity <= 0:
             raise SimError(f"constraint {name!r} needs positive capacity")
         self.name = name
         self.capacity = float(capacity)
-        self._flows: set["Flow"] = set()
-        self._monitor_cb = None  # optional callable(time, utilization)
+        # Insertion-ordered member set (dict keys) — deterministic
+        # iteration keeps component rebuilds reproducible run-to-run.
+        self._flows: Dict["Flow", None] = {}
+        self._load = 0.0
+        self._component: Optional["_Component"] = None
 
     @property
     def active_flows(self) -> int:
@@ -60,11 +89,11 @@ class CapacityConstraint:
     @property
     def load(self) -> float:
         """Sum of current flow rates through this constraint (bytes/s)."""
-        return sum(f.rate for f in self._flows)
+        return self._load
 
     @property
     def utilization(self) -> float:
-        return self.load / self.capacity
+        return self._load / self.capacity
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CapacityConstraint {self.name} {self.capacity:.3g}B/s n={len(self._flows)}>"
@@ -75,12 +104,13 @@ class Flow:
 
     Created via :meth:`FlowScheduler.transfer`; ``done`` fires with the
     flow itself when the last byte moves.  ``rate`` is the currently
-    allocated bandwidth, re-derived at every membership change.
+    allocated bandwidth, re-derived at every membership change of the
+    flow's contention component.
     """
 
     __slots__ = ("fid", "size", "remaining", "constraints", "rate_cap",
                  "rate", "done", "started_at", "finished_at", "label",
-                 "weight")
+                 "weight", "_component")
 
     def __init__(self, fid: int, size: float,
                  constraints: Sequence[CapacityConstraint],
@@ -90,7 +120,10 @@ class Flow:
         self.fid = fid
         self.size = float(size)
         self.remaining = float(size)
-        self.constraints = tuple(constraints)
+        # A medium constrains a flow once: collapse duplicates while
+        # preserving order, so adjacency sets and the weighted fill
+        # agree on membership.
+        self.constraints = tuple(dict.fromkeys(constraints))
         self.rate_cap = rate_cap
         self.rate = 0.0
         self.done = done
@@ -101,6 +134,7 @@ class Flow:
         #: the bandwidth of a weight-1 competitor on the same
         #: bottleneck — the fluid collapse of "w parallel streams".
         self.weight = float(weight)
+        self._component: Optional["_Component"] = None
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -120,17 +154,66 @@ class Flow:
                 f"remaining={self.remaining:.3g} rate={self.rate:.3g}>")
 
 
+class _Component:
+    """One connected component of the flow↔constraint bipartite graph.
+
+    Flows and constraints are insertion-ordered sets (dict keys) so the
+    engine's behaviour is identical run-to-run; ``ver`` invalidates
+    stale deadline-heap entries after a reallocation, and ``alive``
+    invalidates entries of merged/split/emptied components.
+    """
+
+    __slots__ = ("cid", "flows", "constraints", "last_update", "deadline",
+                 "ver", "alive")
+
+    def __init__(self, cid: int, now: float) -> None:
+        self.cid = cid
+        self.flows: Dict[Flow, None] = {}
+        self.constraints: Dict[CapacityConstraint, None] = {}
+        self.last_update = now
+        self.deadline = math.inf
+        self.ver = 0
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<_Component #{self.cid} flows={len(self.flows)} "
+                f"constraints={len(self.constraints)} "
+                f"deadline={self.deadline:.6g}>")
+
+
 class FlowScheduler:
-    """Tracks active flows and drives them to completion over sim time."""
+    """Tracks active flows and drives them to completion over sim time.
+
+    Incremental, component-partitioned engine: per membership change it
+    advances and reallocates only the connected component of the
+    flow↔constraint graph that the change touches.  Single-flow
+    components resolve to a closed-form rate; multi-flow components run
+    weighted progressive filling over the component's members only,
+    with live-weight sums maintained on freeze.  One lazily-cancelled
+    wake timeout serves the earliest completion deadline across all
+    components, so a change that does not move the earliest deadline
+    leaves the event calendar untouched.
+    """
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self._flows: set[Flow] = set()
+        self._flows: Dict[Flow, None] = {}
+        self._by_done: Dict[Event, Flow] = {}
         self._fid = itertools.count(1)
-        self._last_update = sim.now
-        self._epoch = 0          # invalidates stale wake-up events
+        self._cid = itertools.count(1)
         self._completed = 0
         self._bytes_moved = 0.0
+        #: (deadline, cid, ver, component) — lazily invalidated.
+        self._deadlines: List[tuple] = []
+        self._comps: Dict[_Component, None] = {}
+        self._wake_handle: Optional[TimeoutHandle] = None
+        self._wake_time = math.inf
+        # Perf accounting (read by the flow-engine benchmark): number
+        # of component (re)allocations and total flow slots scanned by
+        # advances + allocations.  For disjoint workloads this grows
+        # O(changes), not O(changes × flows).
+        self.alloc_count = 0
+        self.flows_touched = 0
 
     # -- public API ----------------------------------------------------
     def transfer(self, size: float,
@@ -163,26 +246,51 @@ class FlowScheduler:
             self._completed += 1
             done.succeed(flow)
             return done
-        self._advance()
-        self._flows.add(flow)
-        for c in flow.constraints:
-            c._flows.add(flow)
-        self._reallocate()
+        self._run_due()
+        self._flows[flow] = None
+        self._by_done[done] = flow
+        comp = self._attach(flow)
+        self._allocate(comp)
+        self._schedule_wake()
         return done
 
     def cancel(self, done_event: Event) -> None:
-        """Abort the flow behind ``done_event`` (fails the event)."""
-        target = None
-        for f in self._flows:
-            if f.done is done_event:
-                target = f
-                break
-        if target is None:
+        """Abort the flow behind ``done_event`` (fails the event).
+
+        O(1) lookup through the ``Event → Flow`` map; only the flow's
+        own component is advanced and reallocated.  If the flow's last
+        byte has already moved by *now*, completion wins and the event
+        succeeds instead.
+        """
+        self._run_due()
+        flow = self._by_done.get(done_event)
+        if flow is None:
             return
-        self._advance()
-        self._detach(target)
-        self._reallocate()
-        done_event.fail(SimError(f"flow #{target.fid} cancelled"))
+        now = self.sim.now
+        comp = flow._component
+        finished: List[Flow] = []
+        if comp is not None:
+            self._advance(comp, now, finished)
+        if flow in finished:
+            # The flow physically completed at this instant: deliver
+            # the completion rather than failing a finished transfer.
+            self._finish_batch(finished)
+            self._schedule_wake()
+            return
+        self._by_done.pop(done_event, None)
+        target_comp = self._detach(flow)
+        flow.rate = 0.0
+        if finished:
+            # Co-members that crossed the epsilon band finish first
+            # (deterministic fid order), mirroring the global engine.
+            # They all belonged to the cancelled flow's component, so
+            # the batch also repartitions and reallocates it.
+            self._finish_batch(finished)
+        elif target_comp is not None and target_comp.alive:
+            for part in self._rebuild(target_comp):
+                self._allocate(part)
+        done_event.fail(SimError(f"flow #{flow.fid} cancelled"))
+        self._schedule_wake()
 
     @property
     def active(self) -> int:
@@ -196,74 +304,405 @@ class FlowScheduler:
     def bytes_moved(self) -> float:
         return self._bytes_moved
 
-    # -- internals -------------------------------------------------------
-    def _detach(self, flow: Flow) -> None:
-        self._flows.discard(flow)
-        for c in flow.constraints:
-            c._flows.discard(flow)
+    @property
+    def component_count(self) -> int:
+        """Number of live contention components (diagnostics)."""
+        return len(self._comps)
 
-    def _advance(self) -> None:
-        """Progress every flow from the last update instant to now."""
-        dt = self.sim.now - self._last_update
-        self._last_update = self.sim.now
+    # -- component maintenance ------------------------------------------
+    def _attach(self, flow: Flow) -> _Component:
+        """Insert ``flow``, merging the components its constraints span."""
+        now = self.sim.now
+        comps: List[_Component] = []
+        for c in flow.constraints:
+            comp = c._component
+            if comp is not None and comp not in comps:
+                comps.append(comp)
+        if comps:
+            finished: List[Flow] = []
+            for comp in comps:
+                self._advance(comp, now, finished)
+            if finished:
+                # Epsilon-band completions surfaced by the advance:
+                # settle them (may split components), then re-resolve.
+                self._finish_batch(finished)
+                return self._attach(flow)
+            host = max(comps, key=lambda cc: len(cc.flows))
+            for comp in comps:
+                if comp is host:
+                    continue
+                for f in comp.flows:
+                    f._component = host
+                    host.flows[f] = None
+                for c in comp.constraints:
+                    c._component = host
+                    host.constraints[c] = None
+                comp.alive = False
+                self._comps.pop(comp, None)
+        else:
+            host = _Component(next(self._cid), now)
+            self._comps[host] = None
+        host.flows[flow] = None
+        flow._component = host
+        for c in flow.constraints:
+            c._flows[flow] = None
+            if c._component is not host:
+                c._component = host
+                host.constraints[c] = None
+        return host
+
+    def _detach(self, flow: Flow) -> Optional[_Component]:
+        """Remove ``flow`` from all bookkeeping; returns its component."""
+        comp = flow._component
+        flow._component = None
+        self._flows.pop(flow, None)
+        if comp is not None:
+            comp.flows.pop(flow, None)
+        for c in flow.constraints:
+            c._flows.pop(flow, None)
+            if not c._flows:
+                c._load = 0.0
+                c._component = None
+                if comp is not None:
+                    comp.constraints.pop(c, None)
+        return comp
+
+    def _rebuild(self, comp: _Component) -> List[_Component]:
+        """Re-derive connected components after ``comp`` lost members.
+
+        Detaching a flow with two or more constraints can split its
+        component; a breadth-first sweep over the component's own
+        adjacency (never the global flow set) finds the parts.
+        """
+        if not comp.flows:
+            comp.alive = False
+            self._comps.pop(comp, None)
+            return []
+        if len(comp.flows) == 1 or len(comp.constraints) <= 1:
+            # A single flow, or every member sharing one medium, is
+            # necessarily connected.
+            return [comp]
+        n = len(comp.flows)
+        for c in comp.constraints:
+            if len(c._flows) == n:
+                # A hub constraint spans every member (e.g. the fabric
+                # core): trivially still connected, skip the sweep.
+                return [comp]
+        unvisited = dict.fromkeys(comp.flows)
+        parts: List[List[Flow]] = []
+        seen_c = set()
+        while unvisited:
+            seed = next(iter(unvisited))
+            del unvisited[seed]
+            members = [seed]
+            stack = [seed]
+            while stack:
+                f = stack.pop()
+                for c in f.constraints:
+                    if c in seen_c or not c._flows:
+                        continue
+                    seen_c.add(c)
+                    for g in c._flows:
+                        if g in unvisited:
+                            del unvisited[g]
+                            members.append(g)
+                            stack.append(g)
+            parts.append(members)
+        if len(parts) == 1:
+            return [comp]
+        comp.alive = False
+        self._comps.pop(comp, None)
+        out = []
+        for members in parts:
+            part = _Component(next(self._cid), comp.last_update)
+            self._comps[part] = None
+            for f in members:
+                part.flows[f] = None
+                f._component = part
+                for c in f.constraints:
+                    if c._component is not part:
+                        c._component = part
+                        part.constraints[c] = None
+            out.append(part)
+        return out
+
+    # -- progression ----------------------------------------------------
+    def _advance(self, comp: _Component, now: float,
+                 finished: List[Flow]) -> None:
+        """Progress one component from its last update instant to now."""
+        dt = now - comp.last_update
+        comp.last_update = now
         if dt <= 0:
             return
-        finished: list[Flow] = []
-        for f in self._flows:
+        self.flows_touched += len(comp.flows)
+        for f in comp.flows:
             f.remaining -= f.rate * dt
             if f.remaining <= _EPS * max(1.0, f.size):
                 f.remaining = 0.0
                 finished.append(f)
-        # Deterministic completion order.
-        for f in sorted(finished, key=lambda x: x.fid):
+
+    def _finish_batch(self, finished: List[Flow]) -> None:
+        """Complete flows in deterministic fid order, then repartition
+        and reallocate every component they belonged to."""
+        finished.sort(key=lambda f: f.fid)
+        affected: Dict[_Component, None] = {}
+        for f in finished:
+            comp = self._detach(f)
+            if comp is not None and comp.alive:
+                affected[comp] = None
             self._finish(f)
+        for comp in affected:
+            if not comp.alive:
+                continue
+            for part in self._rebuild(comp):
+                self._allocate(part)
 
     def _finish(self, flow: Flow) -> None:
-        self._detach(flow)
         flow.finished_at = self.sim.now
         flow.rate = 0.0
         self._completed += 1
         self._bytes_moved += flow.size
+        self._by_done.pop(flow.done, None)
         flow.done.succeed(flow)
 
-    def _reallocate(self) -> None:
-        """Recompute max-min fair rates and schedule the next wake-up."""
-        self._epoch += 1
-        flows = sorted(self._flows, key=lambda f: f.fid)
-        if not flows:
+    def _run_due(self) -> None:
+        """Advance and settle every component whose deadline has come."""
+        now = self.sim.now
+        heap = self._deadlines
+        due: List[_Component] = []
+        while heap:
+            deadline, _cid, ver, comp = heap[0]
+            if not comp.alive or ver != comp.ver:
+                heapq.heappop(heap)
+                continue
+            if deadline > now:
+                break
+            heapq.heappop(heap)
+            due.append(comp)
+        if not due:
             return
-        rates = self._max_min_rates(flows)
-        next_done = math.inf
-        for f, r in zip(flows, rates):
-            f.rate = r
-            if r > 0:
-                next_done = min(next_done, f.remaining / r)
-        if math.isinf(next_done):
-            return  # everything stalled (zero rates) — wait for a change
-        epoch = self._epoch
-        wake = self.sim.timeout(next_done, name="flow:wake")
-        wake.add_callback(lambda _ev: self._on_wake(epoch))
+        finished: List[Flow] = []
+        for comp in due:
+            self._advance(comp, now, finished)
+        if finished:
+            self._finish_batch(finished)
+        for comp in due:
+            # A due component that kept its membership (epsilon
+            # shortfall) still needs a fresh deadline.
+            if comp.alive and comp.deadline <= now:
+                self._allocate(comp)
 
-    def _on_wake(self, epoch: int) -> None:
-        if epoch != self._epoch:
-            return  # superseded by a later reallocation
-        self._advance()
-        self._reallocate()
+    # -- allocation ------------------------------------------------------
+    def _allocate(self, comp: _Component) -> None:
+        """Recompute rates, loads and the completion deadline of one
+        component (which must already be advanced to now)."""
+        if not comp.flows:  # pragma: no cover - defensive
+            comp.alive = False
+            self._comps.pop(comp, None)
+            return
+        self.alloc_count += 1
+        now = comp.last_update
+        next_done = math.inf
+        if len(comp.flows) == 1:
+            # Closed-form single-flow shortcut (node-local transfers):
+            # the fair share is the tightest limit on the path.  The
+            # delta/weight round-trip mirrors the reference algorithm's
+            # arithmetic bit-for-bit.
+            self.flows_touched += 1
+            (f,) = comp.flows
+            w = f.weight
+            delta = math.inf
+            for c in f.constraints:
+                d = c.capacity / w
+                if d < delta:
+                    delta = d
+            if f.rate_cap is not None:
+                d = f.rate_cap / w
+                if d < delta:
+                    delta = d
+            rate = math.inf if math.isinf(delta) else delta * w
+            f.rate = rate
+            for c in f.constraints:
+                c._load = rate
+            if rate > 0:
+                next_done = f.remaining / rate
+        else:
+            members = sorted(comp.flows, key=lambda f: f.fid)
+            self.flows_touched += len(members)
+            rates = self._component_rates(members)
+            loads: Dict[CapacityConstraint, float] = {}
+            for f, r in zip(members, rates):
+                f.rate = r
+                if r > 0:
+                    nd = f.remaining / r
+                    if nd < next_done:
+                        next_done = nd
+                for c in f.constraints:
+                    loads[c] = loads.get(c, 0.0) + r
+            for c, v in loads.items():
+                c._load = v
+        comp.deadline = now + next_done if not math.isinf(next_done) else math.inf
+        comp.ver += 1
+        if not math.isinf(comp.deadline):
+            heapq.heappush(self._deadlines,
+                           (comp.deadline, comp.cid, comp.ver, comp))
+        # Compact the deadline heap when stale entries dominate, so an
+        # adversarial churn pattern cannot grow it without bound.
+        if len(self._deadlines) > 64 and \
+                len(self._deadlines) > 4 * len(self._comps):
+            self._deadlines = [
+                (c.deadline, c.cid, c.ver, c) for c in self._comps
+                if not math.isinf(c.deadline)
+            ]
+            heapq.heapify(self._deadlines)
 
     @staticmethod
-    def _max_min_rates(flows: Sequence[Flow]) -> list[float]:
+    def _component_rates(flows: Sequence[Flow]) -> List[float]:
+        """Weighted progressive filling over one component's members.
+
+        Same fill semantics as the reference :meth:`_max_min_rates`,
+        restricted to the component: the constraint→members index is
+        built once and reused across rounds, and per-constraint live
+        weights are decremented as flows freeze instead of being
+        re-summed every round.
+        """
+        n = len(flows)
+        rates = [0.0] * n
+        frozen = [False] * n
+        weights = [f.weight for f in flows]
+        cons: Dict[CapacityConstraint, List[int]] = {}
+        for i, f in enumerate(flows):
+            for c in f.constraints:
+                cons.setdefault(c, []).append(i)
+        used = {}
+        live_w = {}   # sum of unfrozen member weights (decremented)
+        live_n = {}   # exact count of unfrozen members (gates live_w)
+        for c, members in cons.items():
+            used[c] = 0.0
+            s = 0.0
+            for i in members:
+                s += weights[i]
+            live_w[c] = s
+            live_n[c] = len(members)
+        capped = [i for i, f in enumerate(flows) if f.rate_cap is not None]
+        active = list(range(n))
+        # Each round freezes at least one flow, so <= n rounds.
+        for _round in range(n + 1):
+            if not active:
+                break
+            # delta is the uniform increment of the *normalized* rate
+            # (rate/weight) of all unfrozen flows.
+            delta = math.inf
+            for c, members in cons.items():
+                if live_n[c] <= 0:
+                    continue
+                lw = live_w[c]
+                if lw <= 0.0:
+                    # Catastrophic cancellation in the decrements;
+                    # re-derive the exact sum (rare).
+                    lw = 0.0
+                    for i in members:
+                        if not frozen[i]:
+                            lw += weights[i]
+                    live_w[c] = lw
+                    if lw <= 0.0:
+                        continue
+                d = (c.capacity - used[c]) / lw
+                if d < delta:
+                    delta = d
+            for i in capped:
+                if not frozen[i]:
+                    d = (flows[i].rate_cap - rates[i]) / weights[i]
+                    if d < delta:
+                        delta = d
+            if math.isinf(delta):
+                # No constraint and no cap limits the rest: unbounded.
+                for i in active:
+                    rates[i] = math.inf
+                    frozen[i] = True
+                break
+            if delta < 0.0:
+                delta = 0.0
+            for i in active:
+                rates[i] += delta * weights[i]
+            for c, lw in live_w.items():
+                if live_n[c] > 0 and lw > 0:
+                    used[c] += delta * lw
+            # Freeze flows limited by a saturated constraint or their cap.
+            froze: List[int] = []
+            for c, members in cons.items():
+                if live_n[c] > 0 and \
+                        c.capacity - used[c] <= _EPS * c.capacity:
+                    for i in members:
+                        if not frozen[i]:
+                            frozen[i] = True
+                            froze.append(i)
+            for i in capped:
+                f = flows[i]
+                if (not frozen[i]
+                        and rates[i] >= f.rate_cap - _EPS * f.rate_cap):
+                    frozen[i] = True
+                    froze.append(i)
+            if not froze:
+                # Numerical guard: nothing progressed; stop here.
+                break
+            for i in froze:
+                for c in flows[i].constraints:
+                    live_w[c] -= weights[i]
+                    live_n[c] -= 1
+            active = [i for i in active if not frozen[i]]
+        return rates
+
+    # -- wake management -------------------------------------------------
+    def _schedule_wake(self) -> None:
+        """Point the single wake timeout at the earliest live deadline.
+
+        When the earliest deadline did not move, the already-scheduled
+        timeout stays — no calendar churn.  A superseded wake is
+        lazily cancelled (skipped at pop time) rather than removed.
+        """
+        heap = self._deadlines
+        while heap:
+            _deadline, _cid, ver, comp = heap[0]
+            if comp.alive and ver == comp.ver:
+                break
+            heapq.heappop(heap)
+        target = heap[0][0] if heap else math.inf
+        if target == self._wake_time:
+            return
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+            self._wake_handle = None
+        self._wake_time = target
+        if math.isinf(target):
+            return
+        handle = self.sim.cancellable_timeout(at=target, name="flow:wake")
+        handle.event.add_callback(self._on_wake)
+        self._wake_handle = handle
+
+    def _on_wake(self, _ev: Event) -> None:
+        self._wake_handle = None
+        self._wake_time = math.inf
+        self._run_due()
+        self._schedule_wake()
+
+    # -- reference allocator (oracle) -------------------------------------
+    @staticmethod
+    def _max_min_rates(flows: Sequence[Flow]) -> List[float]:
         """Progressive-filling *weighted* max-min fair allocation.
 
-        Rates rise proportionally to flow weights; flow rate caps are
-        honoured as single-flow constraints.  Returns rates aligned
-        with ``flows``.
+        The original global algorithm, retained as the reference oracle
+        for the incremental engine (property and parity tests compare
+        against it).  Rates rise proportionally to flow weights; flow
+        rate caps are honoured as single-flow constraints.  Returns
+        rates aligned with ``flows``.
         """
         n = len(flows)
         rates = [0.0] * n
         frozen = [False] * n
         weights = [f.weight for f in flows]
         # Gather the constraints touched by this flow set, once.
-        constraints: dict[CapacityConstraint, list[int]] = {}
+        constraints: Dict[CapacityConstraint, List[int]] = {}
         for i, f in enumerate(flows):
             for c in f.constraints:
                 constraints.setdefault(c, []).append(i)
@@ -317,3 +756,147 @@ class FlowScheduler:
                 # Numerical guard: nothing progressed; stop here.
                 break
         return rates
+
+
+class ReferenceFlowScheduler:
+    """The original global O(flows × constraints)-per-change engine.
+
+    Kept as the executable oracle: every membership change advances
+    *every* active flow and re-runs progressive filling over the whole
+    flow set.  Parity tests and the flow-churn benchmark run identical
+    workloads through this class and :class:`FlowScheduler` to prove
+    the incremental engine computes the same completion times and order
+    — and how much faster it does so.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._flows: Dict[Flow, None] = {}
+        self._fid = itertools.count(1)
+        self._last_update = sim.now
+        self._epoch = 0          # invalidates stale wake-up events
+        self._completed = 0
+        self._bytes_moved = 0.0
+
+    # -- public API ----------------------------------------------------
+    def transfer(self, size: float,
+                 constraints: Iterable[CapacityConstraint] = (),
+                 rate_cap: Optional[float] = None,
+                 label: str = "", weight: float = 1.0) -> Event:
+        """Start a flow of ``size`` bytes; returns its completion event."""
+        if size < 0:
+            raise SimError(f"negative transfer size {size}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise SimError(f"rate_cap must be positive, got {rate_cap}")
+        if weight <= 0:
+            raise SimError(f"weight must be positive, got {weight}")
+        done = self.sim.event(name=f"flow:{label or 'transfer'}")
+        flow = Flow(next(self._fid), size, tuple(constraints), rate_cap,
+                    done, self.sim.now, label, weight)
+        if size == 0:
+            flow.finished_at = self.sim.now
+            done.succeed(flow)
+            return done
+        if not flow.constraints and rate_cap is None:
+            flow.finished_at = self.sim.now
+            flow.remaining = 0.0
+            self._bytes_moved += flow.size
+            self._completed += 1
+            done.succeed(flow)
+            return done
+        self._advance()
+        self._flows[flow] = None
+        for c in flow.constraints:
+            c._flows[flow] = None
+        self._reallocate()
+        return done
+
+    def cancel(self, done_event: Event) -> None:
+        """Abort the flow behind ``done_event`` (linear scan, oracle)."""
+        target = None
+        for f in self._flows:
+            if f.done is done_event:
+                target = f
+                break
+        if target is None:
+            return
+        self._advance()
+        if target.remaining == 0.0 and target.finished_at is not None:
+            return  # completed during the advance: completion wins
+        self._detach(target)
+        target.rate = 0.0
+        self._reallocate()
+        done_event.fail(SimError(f"flow #{target.fid} cancelled"))
+
+    @property
+    def active(self) -> int:
+        return len(self._flows)
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def bytes_moved(self) -> float:
+        return self._bytes_moved
+
+    # -- internals -------------------------------------------------------
+    def _detach(self, flow: Flow) -> None:
+        self._flows.pop(flow, None)
+        for c in flow.constraints:
+            c._flows.pop(flow, None)
+            if not c._flows:
+                c._load = 0.0
+
+    def _advance(self) -> None:
+        """Progress every flow from the last update instant to now."""
+        dt = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if dt <= 0:
+            return
+        finished: List[Flow] = []
+        for f in self._flows:
+            f.remaining -= f.rate * dt
+            if f.remaining <= _EPS * max(1.0, f.size):
+                f.remaining = 0.0
+                finished.append(f)
+        # Deterministic completion order.
+        for f in sorted(finished, key=lambda x: x.fid):
+            self._finish(f)
+
+    def _finish(self, flow: Flow) -> None:
+        self._detach(flow)
+        flow.finished_at = self.sim.now
+        flow.rate = 0.0
+        self._completed += 1
+        self._bytes_moved += flow.size
+        flow.done.succeed(flow)
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and schedule the next wake-up."""
+        self._epoch += 1
+        flows = sorted(self._flows, key=lambda f: f.fid)
+        if not flows:
+            return
+        rates = FlowScheduler._max_min_rates(flows)
+        loads: Dict[CapacityConstraint, float] = {}
+        next_done = math.inf
+        for f, r in zip(flows, rates):
+            f.rate = r
+            if r > 0:
+                next_done = min(next_done, f.remaining / r)
+            for c in f.constraints:
+                loads[c] = loads.get(c, 0.0) + r
+        for c, v in loads.items():
+            c._load = v
+        if math.isinf(next_done):
+            return  # everything stalled (zero rates) — wait for a change
+        epoch = self._epoch
+        wake = self.sim.timeout(next_done, name="flow:wake")
+        wake.add_callback(lambda _ev: self._on_wake(epoch))
+
+    def _on_wake(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a later reallocation
+        self._advance()
+        self._reallocate()

@@ -102,6 +102,14 @@ class Monitor:
         """Record ``value`` on series ``name`` at the current sim time."""
         self.series(name).record(self.sim.now, value)
 
+    def sample_utilization(self, constraint) -> None:
+        """Sample a :class:`~repro.sim.flows.CapacityConstraint` onto
+        the ``util:<name>`` series.  The flow engine maintains each
+        constraint's load incrementally, so this is O(1) per sample and
+        never scans the active flow set."""
+        self.series(f"util:{constraint.name}").record(
+            self.sim.now, constraint.utilization)
+
     def counters(self) -> Dict[str, int]:
         return {k: c.value for k, c in sorted(self._counters.items())}
 

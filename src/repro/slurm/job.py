@@ -240,7 +240,7 @@ class StepContext:
         # Access the flow scheduler through whichever backend is local.
         from repro.sim.flows import FlowScheduler
         flows = self._flows()
-        return flows.transfer(traffic_bytes, [self.membus],
+        return flows.transfer(traffic_bytes, (self.membus,),
                               label=f"hpcg:{self.node}")
 
     def _flows(self):

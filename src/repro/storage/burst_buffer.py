@@ -93,8 +93,8 @@ class BurstBuffer:
         self.used += size - old
         ion = self._io_node_for(path)
         ev = self.fabric.transfer(client_node, self.server_node, size,
-                                  extra_constraints=[ion,
-                                                     *extra_constraints],
+                                  extra_constraints=(ion,
+                                                     *extra_constraints),
                                   label=f"bb:w:{path}")
         if content is None:
             content = FileContent.synthesize(token or f"bb:{path}", size)
@@ -127,8 +127,8 @@ class BurstBuffer:
             return done
         ion = self._io_node_for(path)
         ev = self.fabric.transfer(self.server_node, client_node, content.size,
-                                  extra_constraints=[ion,
-                                                     *extra_constraints],
+                                  extra_constraints=(ion,
+                                                     *extra_constraints),
                                   label=f"bb:r:{path}")
         ev.add_callback(
             lambda e: done.succeed(content) if e.ok else done.fail(e.value))

@@ -106,7 +106,7 @@ class BlockDevice:
         if size < 0:
             raise SimError(f"negative I/O size {size}")
         done = self.sim.event(name=f"{self.name}:{label}")
-        constraints = [path, *extra_constraints]
+        constraints = (path, *extra_constraints)
 
         def start(_e: Event) -> None:
             flow = self.flows.transfer(size, constraints, rate_cap,

@@ -176,9 +176,9 @@ class ParallelFileSystem:
     # -- data path ----------------------------------------------------------------
     def _stripe_constraints(self, ost: _Ost, write: bool,
                             extra: Sequence[CapacityConstraint] = (),
-                            ) -> list[CapacityConstraint]:
+                            ) -> tuple[CapacityConstraint, ...]:
         data_path = ost.write_path if write else ost.read_path
-        return [self._front, ost.oss_link, data_path, *extra]
+        return (self._front, ost.oss_link, data_path, *extra)
 
     def _client_cap(self, client_node: str,
                     write: bool) -> Optional[CapacityConstraint]:
@@ -201,11 +201,11 @@ class ParallelFileSystem:
         """Launch one flow per stripe; returns their completion events."""
         n = len(osts)
         per_stripe = size / n if n else 0
-        extra_constraints = list(extra_constraints)
+        extra_constraints = tuple(extra_constraints)
         if client_node is not None:
             cap = self._client_cap(client_node, write)
             if cap is not None:
-                extra_constraints.append(cap)
+                extra_constraints = (*extra_constraints, cap)
         events = []
         for ost in osts:
             extras = self._stripe_constraints(ost, write, extra_constraints)

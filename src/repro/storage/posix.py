@@ -137,8 +137,9 @@ class Mount:
 
         cached = self._cache is not None and self._cache.hit(path, content.size)
         if cached:
-            constraints = [self.membus] if self.membus is not None else []
-            constraints += list(extra_constraints)
+            constraints = ((self.membus, *extra_constraints)
+                           if self.membus is not None
+                           else tuple(extra_constraints))
             io = self.device.flows.transfer(content.size, constraints,
                                             rate_cap, label=f"cached:{path}")
         else:

@@ -1,0 +1,342 @@
+"""Equivalence of the incremental flow engine and the global oracle.
+
+The component-partitioned :class:`FlowScheduler` must be behaviourally
+identical to the retained :class:`ReferenceFlowScheduler` (the original
+advance-everything / re-fill-everything algorithm): same completion
+times, same completion *order*, same cancellation outcomes, same byte
+accounting.  These tests sweep randomized workloads — disjoint and
+overlapping constraint sets, rate caps, weights, staggered arrivals and
+mid-flight cancels — through both engines and compare the full
+completion traces.  Determinism (two runs of the incremental engine are
+bit-identical) and cancel-mid-component edge cases are pinned
+separately.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import (CapacityConstraint, FlowScheduler,
+                       ReferenceFlowScheduler, Simulator)
+
+
+# -- workload generation ----------------------------------------------------
+
+def make_workload(seed, n_flows=60, n_groups=4, shared_frac=0.3,
+                  cancel_frac=0.0):
+    """A reproducible randomized flow workload description.
+
+    Constraints come in ``n_groups`` disjoint *groups* of three (think:
+    per-node membus + device read/write) plus one shared backbone, so
+    the component structure exercises singletons, small disjoint
+    components and one large merged component.  Returns plain data so
+    the same workload can be instantiated against either engine.
+    """
+    rng = random.Random(seed)
+    caps = []
+    for g in range(n_groups):
+        for j in range(3):
+            caps.append((f"g{g}c{j}", rng.uniform(50.0, 500.0)))
+    caps.append(("backbone", rng.uniform(100.0, 800.0)))
+    flows = []
+    for i in range(n_flows):
+        g = rng.randrange(n_groups)
+        idxs = sorted(rng.sample(range(3 * g, 3 * g + 3),
+                                 rng.randint(1, 3)))
+        if rng.random() < shared_frac:
+            idxs.append(3 * n_groups)  # the shared backbone
+        size = rng.uniform(10.0, 5000.0)
+        rate_cap = rng.uniform(20.0, 300.0) if rng.random() < 0.25 else None
+        weight = rng.choice([1.0, 1.0, 1.0, 2.0, 4.0, 0.5])
+        start = rng.uniform(0.0, 30.0)
+        cancel_after = (rng.uniform(0.05, 20.0)
+                        if rng.random() < cancel_frac else None)
+        flows.append((start, size, idxs, rate_cap, weight, cancel_after))
+    flows.sort(key=lambda spec: spec[0])
+    return caps, flows
+
+
+def run_workload(engine_cls, caps, flows):
+    """Drive one workload through an engine; returns the trace."""
+    sim = Simulator()
+    fs = engine_cls(sim)
+    constraints = [CapacityConstraint(name, cap) for name, cap in caps]
+    done_order = []
+    cancelled = []
+
+    def starter(spec):
+        start, size, idxs, rate_cap, weight, cancel_after = spec
+        yield sim.timeout(start)
+        done = fs.transfer(size, [constraints[j] for j in idxs],
+                           rate_cap=rate_cap, weight=weight,
+                           label=f"f@{start:.3f}")
+        done.add_callback(
+            lambda ev: done_order.append((ev.value.fid, sim.now))
+            if ev.ok else cancelled.append(sim.now))
+        if cancel_after is not None:
+            yield sim.timeout(cancel_after)
+            if not done.triggered:
+                fs.cancel(done)
+
+    for spec in flows:
+        sim.process(starter(spec))
+    sim.run()
+    return {
+        "done_order": done_order,
+        "cancelled": sorted(cancelled),
+        "completed": fs.completed,
+        "bytes": fs.bytes_moved,
+        "active": fs.active,
+        "end": sim.now,
+    }
+
+
+def assert_traces_match(inc, ref):
+    assert [fid for fid, _ in inc["done_order"]] == \
+        [fid for fid, _ in ref["done_order"]]
+    for (fid, t_inc), (_, t_ref) in zip(inc["done_order"],
+                                        ref["done_order"]):
+        assert t_inc == pytest.approx(t_ref, rel=1e-9, abs=1e-12), \
+            f"flow #{fid} finished at {t_inc} vs reference {t_ref}"
+    assert inc["completed"] == ref["completed"]
+    assert inc["bytes"] == pytest.approx(ref["bytes"], rel=1e-9)
+    assert inc["active"] == ref["active"] == 0
+    assert len(inc["cancelled"]) == len(ref["cancelled"])
+    for t_inc, t_ref in zip(inc["cancelled"], ref["cancelled"]):
+        assert t_inc == pytest.approx(t_ref, rel=1e-9, abs=1e-12)
+
+
+# -- parity -----------------------------------------------------------------
+
+class TestEngineParity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_workload_parity(self, seed):
+        caps, flows = make_workload(seed)
+        inc = run_workload(FlowScheduler, caps, flows)
+        ref = run_workload(ReferenceFlowScheduler, caps, flows)
+        assert_traces_match(inc, ref)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_parity_with_cancels(self, seed):
+        caps, flows = make_workload(seed + 100, n_flows=50,
+                                    cancel_frac=0.3)
+        inc = run_workload(FlowScheduler, caps, flows)
+        ref = run_workload(ReferenceFlowScheduler, caps, flows)
+        assert_traces_match(inc, ref)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_parity_fully_disjoint(self, seed):
+        # shared_frac=0: every group is its own contention component —
+        # the regime the incremental engine optimizes hardest.
+        caps, flows = make_workload(seed + 200, n_flows=80, n_groups=8,
+                                    shared_frac=0.0, cancel_frac=0.1)
+        inc = run_workload(FlowScheduler, caps, flows)
+        ref = run_workload(ReferenceFlowScheduler, caps, flows)
+        assert_traces_match(inc, ref)
+
+    def test_allocator_matches_reference_rates(self):
+        # The component-local fill (incremental live weights) must agree
+        # with the retained reference _max_min_rates on a connected set.
+        rng = random.Random(7)
+        for _ in range(50):
+            sim = Simulator()
+            shared = CapacityConstraint("s", rng.uniform(50, 500))
+            locals_ = [CapacityConstraint(f"l{i}", rng.uniform(20, 400))
+                       for i in range(4)]
+            flows = []
+            for i in range(rng.randint(2, 10)):
+                cs = [shared, locals_[rng.randrange(4)]]
+                cap = rng.uniform(10, 200) if rng.random() < 0.3 else None
+                from repro.sim.flows import Flow
+                flows.append(Flow(i + 1, 100.0, cs, cap, sim.event(), 0.0,
+                                  weight=rng.choice([0.5, 1.0, 2.0])))
+                for c in cs:
+                    c._flows[flows[-1]] = None
+            got = FlowScheduler._component_rates(flows)
+            want = FlowScheduler._max_min_rates(flows)
+            assert got == pytest.approx(want, rel=1e-9)
+
+
+# -- determinism ------------------------------------------------------------
+
+class TestDeterminism:
+    def test_two_runs_identical_traces(self):
+        caps, flows = make_workload(42, n_flows=70, cancel_frac=0.2)
+        a = run_workload(FlowScheduler, caps, flows)
+        b = run_workload(FlowScheduler, caps, flows)
+        # Bit-identical, not approximately equal.
+        assert a["done_order"] == b["done_order"]
+        assert a["cancelled"] == b["cancelled"]
+        assert a["bytes"] == b["bytes"]
+        assert a["end"] == b["end"]
+
+
+# -- cancel-mid-component edge cases ---------------------------------------
+
+class TestCancelMidComponent:
+    def test_cancel_bridge_flow_splits_component(self):
+        # Flow B bridges links 1 and 2; cancelling it must split the
+        # component and speed both survivors up to their full links.
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        l1 = CapacityConstraint("l1", 100.0)
+        l2 = CapacityConstraint("l2", 100.0)
+        a = fs.transfer(1000.0, [l1])
+        b = fs.transfer(1000.0, [l1, l2])
+        c = fs.transfer(1000.0, [l2])
+        b.add_callback(lambda ev: None)  # awaited: cancel won't raise
+        assert fs.component_count == 1
+
+        observed = []
+
+        def canceller():
+            yield sim.timeout(2.0)
+            fs.cancel(b)
+            observed.append(fs.component_count)
+
+        sim.process(canceller())
+        sim.run(a)
+        # a moved 100B by t=2 (50 B/s shared with b), then 900B at
+        # 100 B/s once the bridge is gone.
+        assert sim.now == pytest.approx(11.0)
+        assert observed == [2]  # the component split on the cancel
+        sim.run(c)
+        assert sim.now == pytest.approx(11.0)
+        assert b.ok is False
+
+    def test_cancel_at_completion_instant_completion_wins(self):
+        # The flow's last byte moves at t=10; a cancel issued at the
+        # same instant must deliver the completion, not fail it.
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        link = CapacityConstraint("link", 100.0)
+        done = fs.transfer(1000.0, [link])
+        outcomes = []
+        done.add_callback(lambda ev: outcomes.append(ev.ok))
+
+        def canceller():
+            yield sim.timeout(10.0)
+            fs.cancel(done)  # must not raise, must not fail the event
+
+        sim.process(canceller())
+        sim.run()
+        assert outcomes == [True]
+        assert fs.completed == 1
+
+    def test_cancel_last_member_leaves_clean_component_state(self):
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        link = CapacityConstraint("link", 100.0)
+        done = fs.transfer(500.0, [link])
+        done.add_callback(lambda ev: None)
+        fs.cancel(done)
+        assert fs.active == 0
+        assert fs.component_count == 0
+        assert link.active_flows == 0
+        assert link.load == 0.0
+        # The engine keeps working afterwards.
+        d2 = fs.transfer(100.0, [link])
+        sim.run(d2)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_cancel_in_merged_component_keeps_survivor_rates(self):
+        # Merge three node-local components through a backbone flow,
+        # then cancel the backbone flow: locals must decouple again.
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        nodes = [CapacityConstraint(f"n{i}", 100.0) for i in range(3)]
+        backbone = CapacityConstraint("bb", 30.0)
+        locals_ = [fs.transfer(1000.0, [nodes[i]]) for i in range(3)]
+        assert fs.component_count == 3
+        spanning = fs.transfer(10000.0, [backbone, *nodes])
+        spanning.add_callback(lambda ev: None)
+        assert fs.component_count == 1
+
+        observed = []
+
+        def canceller():
+            yield sim.timeout(1.0)
+            fs.cancel(spanning)
+            observed.append(fs.component_count)
+
+        sim.process(canceller())
+        for ev in locals_:
+            sim.run(ev)
+        # The spanning flow freezes at 30 B/s (backbone), so each local
+        # mops up 70 B/s.  After the cancel locals run at 100 B/s:
+        # t=1: locals moved 70B; remaining 930B at 100 B/s -> t=10.3.
+        assert sim.now == pytest.approx(10.3)
+        assert observed == [3]  # the cancel decoupled the three nodes
+        assert fs.component_count == 0
+
+    def test_cancel_unknown_event_is_noop(self):
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        ev = sim.event()
+        fs.cancel(ev)  # must not raise
+        assert not ev.triggered
+
+    def test_cancel_after_completion_is_noop(self):
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        link = CapacityConstraint("link", 100.0)
+        done = fs.transfer(100.0, [link])
+        sim.run(done)
+        fs.cancel(done)  # event already succeeded; O(1) no-op
+        assert done.ok is True
+
+
+# -- incremental bookkeeping invariants -------------------------------------
+
+class TestIncrementalBookkeeping:
+    def test_disjoint_components_never_cross_advance(self):
+        # With k disjoint links, per-change work must not scale with the
+        # total flow count: flows_touched stays O(changes), far below
+        # the O(changes × flows) a global engine would pay.
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        links = [CapacityConstraint(f"l{i}", 100.0) for i in range(50)]
+        for i in range(200):
+            fs.transfer(100.0 * (1 + i % 7), [links[i % 50]])
+        sim.run()
+        assert fs.completed == 200
+        # Every component holds at most 4 flows (200 flows / 50 links),
+        # so no advance or allocation ever scans more than 4 flows.
+        assert fs.flows_touched <= 4 * (2 * 200 + 200)
+
+    def test_constraint_load_is_maintained_not_recomputed(self):
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        link = CapacityConstraint("link", 100.0)
+        fs.transfer(1000.0, [link])
+        fs.transfer(1000.0, [link])
+        sim.run(until=1.0)
+        assert link.load == pytest.approx(100.0)
+        assert link.utilization == pytest.approx(1.0)
+        sim.run()
+        assert link.load == 0.0
+        assert link.utilization == 0.0
+
+    def test_single_flow_component_closed_form(self):
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        r = CapacityConstraint("read", 60.0)
+        w = CapacityConstraint("write", 40.0)
+        done = fs.transfer(400.0, [r, w], weight=3.0)
+        sim.run(done)
+        # min(60, 40) = 40 B/s regardless of weight when alone.
+        assert sim.now == pytest.approx(10.0)
+
+    def test_weighted_share_in_merged_component(self):
+        sim = Simulator()
+        fs = FlowScheduler(sim)
+        link = CapacityConstraint("link", 90.0)
+        heavy = fs.transfer(600.0, [link], weight=2.0)
+        light = fs.transfer(300.0, [link], weight=1.0)
+        sim.run(heavy)
+        # heavy: 60 B/s, light: 30 B/s -> both end at t=10.
+        assert sim.now == pytest.approx(10.0)
+        sim.run(light)
+        assert sim.now == pytest.approx(10.0)

@@ -217,6 +217,55 @@ class TestSimulatorRun:
         sim.run()
         assert sim.event_count == 2
 
+    def test_cancellable_timeout_fires_like_timeout(self, sim):
+        hits = []
+        h = sim.cancellable_timeout(5.0, value="v")
+        h.event.add_callback(lambda e: hits.append((sim.now, e.value)))
+        assert h.active
+        sim.run()
+        assert hits == [(5.0, "v")]
+        assert not h.active
+
+    def test_cancelled_timeout_runs_no_callbacks(self, sim):
+        hits = []
+        h = sim.cancellable_timeout(5.0)
+        h.event.add_callback(lambda e: hits.append(sim.now))
+        assert h.cancel() is True
+        assert h.cancel() is False  # idempotent
+        assert not h.active
+        sim.run()
+        assert hits == []
+        assert sim.now == 5.0  # the lazy entry still advanced the clock
+
+    def test_cancelled_timeout_not_counted_as_processed(self, sim):
+        h = sim.cancellable_timeout(1.0)
+        h.cancel()
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.event_count == 1  # only the real timeout counted
+
+    def test_cancel_after_fire_is_noop(self, sim):
+        h = sim.cancellable_timeout(1.0)
+        sim.run()
+        assert h.cancel() is False
+
+    def test_cancellable_timeout_absolute_time(self, sim):
+        sim.timeout(3.0)
+        sim.run()
+        fired = []
+        h = sim.cancellable_timeout(at=7.5)
+        h.event.add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.5]
+
+    def test_cancellable_timeout_argument_validation(self, sim):
+        with pytest.raises(SimError):
+            sim.cancellable_timeout()  # neither delay nor at
+        with pytest.raises(SimError):
+            sim.cancellable_timeout(1.0, at=2.0)  # both
+        with pytest.raises(SimError):
+            sim.cancellable_timeout(at=-1.0)  # in the past
+
     def test_determinism_same_seeded_program(self):
         def run_once():
             s = Simulator()

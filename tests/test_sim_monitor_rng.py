@@ -54,6 +54,25 @@ class TestTimeSeries:
         assert mon.get_series("zzz") is None
 
 
+class TestConstraintSampling:
+    def test_sample_utilization_is_o1_and_correct(self):
+        from repro.sim import CapacityConstraint, FlowScheduler
+        sim = Simulator()
+        mon = Monitor(sim)
+        fs = FlowScheduler(sim)
+        link = CapacityConstraint("link", 100.0)
+        fs.transfer(1000.0, [link])
+        fs.transfer(1000.0, [link])
+        sim.run(until=1.0)
+        mon.sample_utilization(link)
+        sim.run()
+        mon.sample_utilization(link)
+        s = mon.get_series("util:link")
+        assert s.times == [1.0, 20.0]
+        assert s.values[0] == pytest.approx(1.0)
+        assert s.values[1] == 0.0
+
+
 class TestRngRegistry:
     def test_streams_are_independent_and_stable(self):
         r1, r2 = RngRegistry(5), RngRegistry(5)
