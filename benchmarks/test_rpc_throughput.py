@@ -1,0 +1,296 @@
+"""RPC/wire throughput: requests/sec through the NORNS message path.
+
+The serialization stack is the dominant per-request cost at replay
+scale: every simulated request used to round-trip real bytes — client
+``encode_frame`` -> urd ``decode_frame`` -> urd ``encode_frame`` ->
+client ``decode_frame``.  PR 4 rebuilt that path twice over: compiled
+per-class codec plans (replacing per-field virtual dispatch) and lazy
+:class:`~repro.wire.frames.WireFrame` envelopes that skip
+serialization entirely unless a consumer touches raw bytes.
+
+Three benchmarks track the gain release over release, each in both wire
+modes (``bytes`` = full-fidelity serialization, ``fast`` = lazy
+frames):
+
+* **request churn** — the wire path of one request/response pair
+  (message build, frame build, frame open, both directions) at volume;
+  this is the subsystem the PR rebuilt, and the ``fast``/``bytes``
+  ratio here is gated at >= 3x.
+* **local RPS** — fig4-style status-poll churn through a live urd
+  (AF_UNIX channel, accept thread, dispatch, response).
+* **remote RPS** — fig5-style polls through Mercury ``norns.submit``
+  (progress loop, RPC service time, dispatch).
+
+Set ``RPC_BENCH_QUICK=1`` (the CI quick mode) for trimmed sizes; CI
+publishes the results as the ``BENCH_rpc.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+import tracemalloc
+
+import pytest
+
+from repro.cluster import build, nextgenio
+from repro.net.sockets import Channel, Credentials
+from repro.norns import NornsClient, TaskType
+from repro.norns.api.user import ClientTask
+from repro.norns.resources import memory_region, posix_path
+from repro.norns.task import IOTask, TaskStats
+from repro.norns.urd import GID_NORNS_USER
+from repro.sim.primitives import all_of
+from repro.wire import make_frame, open_frame, set_wire_mode
+from repro.wire import norns_proto as proto
+
+QUICK = bool(os.environ.get("RPC_BENCH_QUICK"))
+MODES = ["bytes", "fast"]
+
+_USER = Credentials(uid=1000, gid=100, groups=frozenset({GID_NORNS_USER}))
+
+
+@contextlib.contextmanager
+def wire_mode(mode: str):
+    previous = set_wire_mode(mode)
+    try:
+        yield
+    finally:
+        set_wire_mode(previous)
+
+
+# ---------------------------------------------------------------------------
+# Scenario drivers (deterministic, no RNG)
+# ---------------------------------------------------------------------------
+
+def run_request_churn(n_requests: int) -> float:
+    """One fig4-style request/response pair per iteration, wire work only.
+
+    Builds the submit request (two resource descriptors, realistic
+    path), frames it, opens it on the far side, then does the same for
+    the status response — exactly the codec work one monitored request
+    costs, with no simulator in between.  Returns requests/sec.
+    """
+    reg = proto.NORNS_PROTOCOL
+    t0 = time.perf_counter()
+    for i in range(n_requests):
+        request = proto.IotaskSubmitRequest(
+            task_type=proto.IOTASK_COPY,
+            input=proto.ResourceDesc(kind=proto.KIND_MEMORY, size=1 << 20),
+            output=proto.ResourceDesc(
+                kind=proto.KIND_POSIX_PATH, nsid="tmp0://",
+                path=f"/scratch/job91000/proc7/out_{i:06d}.dat"),
+            pid=7, priority=0, admin=False)
+        assert open_frame(reg, make_frame(reg, request)).pid == 7
+        response = proto.TaskStatusResponse(
+            error_code=proto.ERR_SUCCESS, task_id=i, status="running",
+            bytes_total=1 << 20, bytes_moved=i & 0xFFFF,
+            eta_seconds=0.5, elapsed_seconds=0.125)
+        assert open_frame(reg, make_frame(reg, response)).task_id == i
+    return n_requests / (time.perf_counter() - t0)
+
+
+def _local_cluster(n_procs: int):
+    handle = build(nextgenio(n_nodes=1, workers=8), seed=0)
+    node = handle.nodes[handle.node_names[0]]
+    job_id = 91_000
+
+    def setup():
+        ctl = node.slurmd.ctl()
+        yield from ctl.register_job(
+            job_id, ctl.job_init([node.name], ["tmp0://"]))
+        for p in range(n_procs):
+            yield from ctl.add_process(job_id, 50_000 + p, 1000, 100)
+        ctl.close()
+
+    handle.run(setup())
+    return handle, node
+
+
+def run_local_rps(n_procs: int, requests_per_proc: int) -> float:
+    """fig4-style local churn: one submit, then status polls at volume.
+
+    Every poll is a genuine roundtrip: wire frame over the user AF_UNIX
+    channel, accept-thread service, dispatch, ``TaskStatusResponse``
+    back.  Returns requests/sec (wall clock).
+    """
+    handle, node = _local_cluster(n_procs)
+    sim = handle.sim
+
+    def client(pid: int):
+        cli = NornsClient(sim, node.hub, _USER, pid=pid,
+                          socket_path=node.urd.config.user_socket)
+        task = cli.iotask_init(
+            TaskType.COPY, memory_region(1 << 20),
+            posix_path("tmp0://", f"/scratch/job91000/proc{pid}/staged.dat"))
+        yield from cli.submit(task)
+        for _ in range(requests_per_proc):
+            yield from cli.error(task)
+        cli.close()
+
+    t0 = time.perf_counter()
+    procs = [sim.process(client(50_000 + p)) for p in range(n_procs)]
+    sim.run(all_of(sim, procs))
+    elapsed = time.perf_counter() - t0
+    return n_procs * (requests_per_proc + 1) / elapsed
+
+
+def run_remote_rps(n_clients: int, requests_per_client: int) -> float:
+    """fig5-style remote churn through Mercury ``norns.submit``.
+
+    Each client node frames one administrative submit, then polls the
+    task's status with per-request frames; every hop crosses the
+    progress loop and accept thread of the target urd."""
+    handle = build(nextgenio(n_nodes=1 + n_clients, workers=8), seed=0)
+    sim = handle.sim
+    target = handle.node_names[0]
+    reg = proto.NORNS_PROTOCOL
+
+    def client(node: str, idx: int):
+        ep = handle.network.endpoint(node)
+        submit = proto.IotaskSubmitRequest(
+            task_type=proto.IOTASK_COPY,
+            input=proto.ResourceDesc(kind=proto.KIND_MEMORY, size=1),
+            output=proto.ResourceDesc(
+                kind=proto.KIND_POSIX_PATH, nsid="tmp0://",
+                path=f"/bench/remote/{idx}.dat"),
+            pid=0, admin=True)
+        raw = yield ep.call(target, "norns.submit", make_frame(reg, submit))
+        task_id = open_frame(reg, raw).task_id
+        for _ in range(requests_per_client):
+            poll = proto.IotaskStatusRequest(task_id=task_id, pid=0)
+            raw = yield ep.call(target, "norns.submit", make_frame(reg, poll))
+            open_frame(reg, raw)
+
+    t0 = time.perf_counter()
+    procs = [sim.process(client(name, i))
+             for i, name in enumerate(handle.node_names[1:])]
+    sim.run(all_of(sim, procs))
+    elapsed = time.perf_counter() - t0
+    return n_clients * (requests_per_client + 1) / elapsed
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark records (one per scenario x mode, for BENCH_rpc.json)
+# ---------------------------------------------------------------------------
+
+N_CHURN = 8_000 if QUICK else 40_000
+LOCAL = (2, 1_500) if QUICK else (4, 3_000)
+REMOTE = (2, 300) if QUICK else (4, 1_000)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_request_churn_throughput(benchmark, mode):
+    out = {}
+
+    def once():
+        with wire_mode(mode):
+            out["rps"] = run_request_churn(N_CHURN)
+        return out["rps"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["n_requests"] = N_CHURN
+    benchmark.extra_info["requests_per_sec"] = out["rps"]
+    print(f"\n  request churn | {mode:>5}: {out['rps']:10,.0f} req/s")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_local_rps(benchmark, mode):
+    n_procs, per_proc = LOCAL
+    out = {}
+
+    def once():
+        with wire_mode(mode):
+            out["rps"] = run_local_rps(n_procs, per_proc)
+        return out["rps"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["n_procs"] = n_procs
+    benchmark.extra_info["requests_per_sec"] = out["rps"]
+    print(f"\n  local rps     | {mode:>5}: {out['rps']:10,.0f} req/s")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_remote_rps(benchmark, mode):
+    n_clients, per_client = REMOTE
+    out = {}
+
+    def once():
+        with wire_mode(mode):
+            out["rps"] = run_remote_rps(n_clients, per_client)
+        return out["rps"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["n_clients"] = n_clients
+    benchmark.extra_info["requests_per_sec"] = out["rps"]
+    print(f"\n  remote rps    | {mode:>5}: {out['rps']:10,.0f} req/s")
+
+
+# ---------------------------------------------------------------------------
+# Cross-mode gates (the PR 4 acceptance criteria)
+# ---------------------------------------------------------------------------
+
+def _best_of(fn, mode: str, rounds: int = 2) -> float:
+    best = 0.0
+    for _ in range(rounds):
+        with wire_mode(mode):
+            best = max(best, fn())
+    return best
+
+
+def test_fastpath_speedup_floors():
+    """fast mode must beat full-bytes mode by the gated factors.
+
+    The request-churn path (the rebuilt wire stack itself) is gated at
+    >= 3x (measured ~4.2x, best-of-N of both modes in one process so a
+    uniformly loaded runner cancels out).  The end-to-end local/remote
+    figures also carry the shared simulator cost per request (calendar
+    events, process resumes), so their floors leave generous noise
+    margin below the ~2.0x/~1.7x measured — the exact ratios land in
+    BENCH_rpc.json.
+    """
+    churn_n = N_CHURN // 2
+    wire_ratio = (_best_of(lambda: run_request_churn(churn_n), "fast")
+                  / _best_of(lambda: run_request_churn(churn_n), "bytes"))
+    local_ratio = (_best_of(lambda: run_local_rps(2, 1_000), "fast")
+                   / _best_of(lambda: run_local_rps(2, 1_000), "bytes"))
+    remote_ratio = (_best_of(lambda: run_remote_rps(2, 250), "fast")
+                    / _best_of(lambda: run_remote_rps(2, 250), "bytes"))
+    print(f"\n  speedup fast/bytes: wire {wire_ratio:.2f}x, "
+          f"local {local_ratio:.2f}x, remote {remote_ratio:.2f}x")
+    assert wire_ratio >= 3.0, wire_ratio
+    assert local_ratio >= 1.3, local_ratio
+    assert remote_ratio >= 1.15, remote_ratio
+
+
+def test_slots_allocation_footprint():
+    """The hot per-request objects stay ``__dict__``-free, and a churn's
+    allocation footprint stays bounded (losing ``__slots__`` on any of
+    these classes adds a dict per instance and trips the ceiling)."""
+    for cls, args in [
+        (proto.IotaskStatusRequest, {}),
+        (proto.TaskStatusResponse, {}),
+        (ClientTask, dict(task_type=TaskType.COPY, src=None, dst=None)),
+        (TaskStats, {}),
+    ]:
+        assert not hasattr(cls(**args), "__dict__"), cls
+    assert "__dict__" not in Channel.__dict__   # no dict descriptor
+    assert not hasattr(IOTask(task_id=1, task_type=TaskType.REMOVE,
+                              src=memory_region(1), dst=None), "__dict__")
+
+    with wire_mode("fast"):
+        tracemalloc.start()
+        before = tracemalloc.get_traced_memory()[0]
+        run_local_rps(1, 500)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    peak_kib = (peak - before) / 1024
+    print(f"\n  allocation footprint: peak {peak_kib:,.0f} KiB "
+          f"over 500 polls")
+    # Generous ceiling: with slots the run peaks well under this; a
+    # dict per message/task/frame instance blows straight through it.
+    assert peak_kib < 4_096, peak_kib

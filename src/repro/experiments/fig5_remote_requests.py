@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.cluster import build, nextgenio
 from repro.experiments.harness import ExperimentResult
 from repro.sim.primitives import all_of
-from repro.wire import decode_frame, encode_frame
+from repro.wire import make_frame, open_frame
 from repro.wire import norns_proto as proto
 
 __all__ = ["run"]
@@ -36,7 +36,7 @@ def _measure(handle, n_clients: int, inflight: int,
         output=proto.ResourceDesc(kind=proto.KIND_POSIX_PATH,
                                   nsid="tmp0://", path="/bench/remote"),
         pid=0, admin=True)
-    payload = encode_frame(proto.NORNS_PROTOCOL, request)
+    payload = make_frame(proto.NORNS_PROTOCOL, request)
 
     def client(node: str):
         ep = handle.network.endpoint(node)
@@ -47,7 +47,7 @@ def _measure(handle, n_clients: int, inflight: int,
                 t0 = sim.now
                 raw = yield ep.call(target, "norns.submit", payload)
                 latencies.append(sim.now - t0)
-                resp, _ = decode_frame(proto.NORNS_PROTOCOL, raw)
+                resp = open_frame(proto.NORNS_PROTOCOL, raw)
 
         per_stream = max(1, requests_per_client // inflight)
         streams = [sim.process(one_stream(per_stream))

@@ -49,7 +49,16 @@ class RpcHandle:
 
 
 class MercuryEndpoint:
-    """One node's attachment to the RPC network (``hg_class`` analogue)."""
+    """One node's attachment to the RPC network (``hg_class`` analogue).
+
+    RPC payloads are opaque to the engine: in the fast wire mode they
+    are lazy :class:`~repro.wire.frames.WireFrame` envelopes, so a
+    request/response pair crosses the whole RPC path without a single
+    byte being serialized.
+    """
+
+    __slots__ = ("network", "node", "sim", "plugin", "_handlers",
+                 "_incoming", "_rpc_seq", "rpcs_served")
 
     def __init__(self, network: "MercuryNetwork", node: str,
                  progress_threads: int = 1) -> None:
@@ -196,6 +205,8 @@ class MercuryEndpoint:
 
 class MercuryNetwork:
     """The cluster-wide RPC registry: one endpoint per node."""
+
+    __slots__ = ("sim", "fabric", "plugin", "_endpoints", "_connections")
 
     def __init__(self, sim: Simulator, fabric: Fabric,
                  plugin: str | NAPlugin = "ofi+tcp") -> None:

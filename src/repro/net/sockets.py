@@ -58,9 +58,14 @@ class Channel:
 
     ``send`` delivers a payload into the peer's inbox after the hub's
     IPC latency; ``recv`` blocks on the local inbox.  Payloads are
-    opaque (the NORNS APIs pass wire-encoded frames).  A closed channel
-    delivers ``None`` to pending/future ``recv`` calls, like EOF.
+    opaque — the NORNS APIs pass wire frames, which in the fast wire
+    mode are lazy :class:`~repro.wire.frames.WireFrame` envelopes
+    rather than real bytes, so the channel never forces serialization.
+    A closed channel delivers ``None`` to pending/future ``recv``
+    calls, like EOF.
     """
+
+    __slots__ = ("_sim", "_latency", "_inbox", "peer", "closed", "name")
 
     def __init__(self, sim: Simulator, latency: float, name: str = "") -> None:
         self._sim = sim
@@ -100,6 +105,8 @@ class Channel:
 
 class Listener:
     """Server side of a bound socket path: accept incoming channels."""
+
+    __slots__ = ("sim", "path", "owner", "mode", "_backlog", "closed")
 
     def __init__(self, sim: Simulator, path: str, owner: Credentials,
                  mode: int) -> None:

@@ -10,7 +10,7 @@ from repro.errors import (
     NornsNoPlugin, NornsNotRegistered, NornsTaskError, NornsTimeout,
 )
 from repro.net.sockets import Credentials, LocalSocketHub
-from repro.wire import decode_frame, encode_frame
+from repro.wire import make_frame, open_frame
 from repro.wire import norns_proto as proto
 
 __all__ = ["ApiError", "raise_for_code", "BaseClient"]
@@ -76,12 +76,11 @@ class BaseClient:
         """Send one request frame, return the decoded response."""
         if self._chan is None:
             yield from self.connect()
-        yield self._chan.send(encode_frame(proto.NORNS_PROTOCOL, message))
+        yield self._chan.send(make_frame(proto.NORNS_PROTOCOL, message))
         raw = yield self._chan.recv()
         if raw is None:
             raise NornsError("daemon closed the connection")
-        response, _ = decode_frame(proto.NORNS_PROTOCOL, raw)
-        return response
+        return open_frame(proto.NORNS_PROTOCOL, raw)
 
     def _checked(self, message):
         """Roundtrip + raise on error codes; returns the response."""

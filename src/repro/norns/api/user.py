@@ -28,7 +28,7 @@ from repro.wire import norns_proto as proto
 __all__ = ["ClientTask", "NornsClient"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientTask:
     """Client-side task handle (``norns_iotask_t``)."""
 

@@ -25,7 +25,7 @@ from repro.errors import NornsTaskError
 from repro.norns.plugins.base import TransferContext, TransferPlugin
 from repro.norns.task import IOTask, TaskType
 from repro.storage.filesystem import FileContent
-from repro.wire import decode_frame, encode_frame
+from repro.wire import make_frame, open_frame
 from repro.wire import norns_proto as proto
 
 __all__ = [
@@ -49,8 +49,8 @@ def _rpc(ctx: TransferContext, host: str, rpc: str,
          request: proto.RemoteFileRequest):
     """Issue one control RPC; returns the decoded response (generator)."""
     raw = yield ctx.endpoint.call(
-        host, rpc, encode_frame(proto.NORNS_PROTOCOL, request))
-    resp, _ = decode_frame(proto.NORNS_PROTOCOL, raw)
+        host, rpc, make_frame(proto.NORNS_PROTOCOL, request))
+    resp = open_frame(proto.NORNS_PROTOCOL, raw)
     if resp.error_code != proto.ERR_SUCCESS:
         raise NornsTaskError(f"{rpc} at {host} failed: {resp.detail}")
     return resp

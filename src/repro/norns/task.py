@@ -39,7 +39,7 @@ class TaskStatus(enum.Enum):
     ERROR = "error"           # failed (stats.error_code says why)
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskStats:
     """``norns_stat_t``: progress/outcome snapshot of a task."""
 
@@ -54,9 +54,13 @@ class TaskStats:
         return self.status in (TaskStatus.FINISHED, TaskStatus.ERROR)
 
 
-@dataclass
+@dataclass(slots=True)
 class IOTask:
-    """One queued/running I/O task inside a urd daemon."""
+    """One queued/running I/O task inside a urd daemon.
+
+    Slotted: one descriptor is allocated per request at replay scale,
+    so instances carry no ``__dict__``.
+    """
 
     task_id: int
     task_type: TaskType
@@ -72,6 +76,10 @@ class IOTask:
     stats: TaskStats = field(default_factory=TaskStats)
     #: Fires when the task reaches a terminal state (set by the urd).
     done: Optional[Event] = None
+    #: ``(src_kind, dst_kind)`` resolved once at submission (the task is
+    #: bound to its backends then); reused by every status poll and the
+    #: completion-side rate observation instead of re-resolving.
+    route: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.task_type in (TaskType.COPY, TaskType.MOVE):

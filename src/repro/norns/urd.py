@@ -47,7 +47,7 @@ from repro.sim.flows import CapacityConstraint
 from repro.sim.primitives import any_of
 from repro.sim.resources import Resource
 from repro.storage.filesystem import FileContent
-from repro.wire import decode_frame, encode_frame
+from repro.wire import WirePayload, make_frame, open_frame
 from repro.wire import norns_proto as proto
 
 __all__ = ["UrdConfig", "UrdDaemon", "UrdDirectory", "GID_NORNS",
@@ -192,7 +192,7 @@ class UrdDaemon:
             try:
                 yield self.sim.timeout(self.config.request_service_time)
                 try:
-                    msg, _ = decode_frame(proto.NORNS_PROTOCOL, frame)
+                    msg = open_frame(proto.NORNS_PROTOCOL, frame)
                 except Exception as exc:
                     response: object = proto.GenericResponse(
                         error_code=proto.ERR_BADREQUEST, detail=str(exc))
@@ -207,11 +207,11 @@ class UrdDaemon:
                     self._respond_later(chan, response),
                     name=f"urd:{self.node}:parked")
             else:
-                yield chan.send(encode_frame(proto.NORNS_PROTOCOL, response))
+                yield chan.send(make_frame(proto.NORNS_PROTOCOL, response))
 
     def _respond_later(self, chan, handler_gen):
         response = yield self.sim.process(handler_gen)
-        yield chan.send(encode_frame(proto.NORNS_PROTOCOL, response))
+        yield chan.send(make_frame(proto.NORNS_PROTOCOL, response))
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -391,12 +391,16 @@ class UrdDaemon:
         return task.src.size if task.src else 0
 
     def _route_of(self, task: IOTask):
-        try:
-            src_kind = resource_kind(self.controller, task.src)
-            dst_kind = resource_kind(self.controller, task.dst)
-        except NornsError:
-            src_kind = dst_kind = None
-        return (src_kind or "-", dst_kind or "-")
+        route = task.route
+        if route is None:
+            try:
+                src_kind = resource_kind(self.controller, task.src)
+                dst_kind = resource_kind(self.controller, task.dst)
+            except NornsError:
+                src_kind = dst_kind = None
+            route = (src_kind or "-", dst_kind or "-")
+            task.route = route
+        return route
 
     # -- task status / wait -------------------------------------------------
     def _task_status_response(self, task: IOTask) -> proto.TaskStatusResponse:
@@ -511,7 +515,7 @@ class UrdDaemon:
         ep.register("norns.push.prepare", self._rpc_push_prepare)
         ep.register("norns.push.commit", self._rpc_push_commit)
 
-    def _rpc_submit(self, payload: bytes, origin: str):
+    def _rpc_submit(self, payload: WirePayload, origin: str):
         """Remote task submission (Fig. 5's request path)."""
         def handler():
             # The request still crosses the accept thread like local ones.
@@ -520,48 +524,48 @@ class UrdDaemon:
                 yield self.sim.timeout(self.config.request_service_time)
             finally:
                 self._accept_thread.release()
-            msg, _ = decode_frame(proto.NORNS_PROTOCOL, payload)
+            msg = open_frame(proto.NORNS_PROTOCOL, payload)
             self.requests_served += 1
             # Remote peers are other urds/slurmds: control-plane trust.
             response = self._dispatch(msg, is_control=True)
             if hasattr(response, "send"):
                 response = yield self.sim.process(response)
-            return encode_frame(proto.NORNS_PROTOCOL, response)
+            return make_frame(proto.NORNS_PROTOCOL, response)
 
         return handler()
 
-    def _decode_remote_file(self, payload: bytes) -> proto.RemoteFileRequest:
-        msg, _ = decode_frame(proto.NORNS_PROTOCOL, payload)
+    def _decode_remote_file(self, payload: WirePayload) -> proto.RemoteFileRequest:
+        msg = open_frame(proto.NORNS_PROTOCOL, payload)
         if not isinstance(msg, proto.RemoteFileRequest):
             raise NornsError(f"unexpected message {type(msg).__name__}")
         return msg
 
-    def _remote_file_error(self, exc: Exception) -> bytes:
-        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+    def _remote_file_error(self, exc: Exception) -> WirePayload:
+        return make_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
             error_code=error_code_for(exc), detail=str(exc)))
 
-    def _rpc_pull_query(self, payload: bytes, origin: str) -> bytes:
+    def _rpc_pull_query(self, payload: WirePayload, origin: str) -> WirePayload:
         try:
             msg = self._decode_remote_file(payload)
             ds = self.controller.resolve(msg.nsid)
             content = ds.backend.stat(msg.path)
         except (NornsError, StorageError) as exc:
             return self._remote_file_error(exc)
-        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+        return make_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
             error_code=proto.ERR_SUCCESS, size=content.size,
             fingerprint=content.fingerprint))
 
-    def _rpc_pull_release(self, payload: bytes, origin: str) -> bytes:
+    def _rpc_pull_release(self, payload: WirePayload, origin: str) -> WirePayload:
         try:
             msg = self._decode_remote_file(payload)
             ds = self.controller.resolve(msg.nsid)
             ds.backend.delete(msg.path)
         except (NornsError, StorageError) as exc:
             return self._remote_file_error(exc)
-        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+        return make_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
             error_code=proto.ERR_SUCCESS))
 
-    def _rpc_push_prepare(self, payload: bytes, origin: str) -> bytes:
+    def _rpc_push_prepare(self, payload: WirePayload, origin: str) -> WirePayload:
         try:
             msg = self._decode_remote_file(payload)
             ds = self.controller.resolve(msg.nsid)
@@ -572,10 +576,10 @@ class UrdDaemon:
             backend.mount.device.allocate(msg.size)
         except (NornsError, StorageError) as exc:
             return self._remote_file_error(exc)
-        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+        return make_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
             error_code=proto.ERR_SUCCESS))
 
-    def _rpc_push_commit(self, payload: bytes, origin: str) -> bytes:
+    def _rpc_push_commit(self, payload: WirePayload, origin: str) -> WirePayload:
         try:
             msg = self._decode_remote_file(payload)
             ds = self.controller.resolve(msg.nsid)
@@ -583,7 +587,7 @@ class UrdDaemon:
             ds.backend.mount.ns.create(msg.path, content)
         except (NornsError, StorageError) as exc:
             return self._remote_file_error(exc)
-        return encode_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
+        return make_frame(proto.NORNS_PROTOCOL, proto.RemoteFileResponse(
             error_code=proto.ERR_SUCCESS))
 
     # ------------------------------------------------------------------

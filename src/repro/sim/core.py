@@ -281,10 +281,15 @@ class Simulator:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
-        """An event that fires ``delay`` seconds from now."""
+        """An event that fires ``delay`` seconds from now.
+
+        The default name is empty: timeouts are the hottest event kind
+        (one per message hop), and formatting a debug label per call is
+        measurable at replay scale.
+        """
         if delay < 0:
             raise SimError(f"negative timeout {delay!r}")
-        ev = Event(self, name or f"timeout({delay})")
+        ev = Event(self, name)
         ev.succeed(value, delay=delay)
         return ev
 

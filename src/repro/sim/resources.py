@@ -39,6 +39,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "resource"
+        self._request_name = self.name + ":request"
         self._in_use = 0
         self._waiters: deque[Event] = deque()
 
@@ -51,7 +52,7 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        ev = self.sim.event(name=f"{self.name}:request")
+        ev = self.sim.event(name=self._request_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
@@ -98,6 +99,10 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "store"
+        # Static labels: puts/gets are per-message-hop hot, and f-string
+        # formatting per event shows up at replay scale.
+        self._put_name = self.name + ":put"
+        self._get_name = self.name + ":get"
         self._priority = priority
         self._items: list[Any] = []  # heap when priority, else list-as-FIFO
         self._fifo: deque[Any] = deque()
@@ -130,7 +135,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Insert ``item``; blocks (pending event) when full."""
-        ev = self.sim.event(name=f"{self.name}:put")
+        ev = self.sim.event(name=self._put_name)
         if self.capacity is not None and len(self) >= self.capacity:
             self._putters.append((ev, item))
             return ev
@@ -141,7 +146,7 @@ class Store:
 
     def get(self) -> Event:
         """Remove and return the next item; blocks when empty."""
-        ev = self.sim.event(name=f"{self.name}:get")
+        ev = self.sim.event(name=self._get_name)
         if len(self):
             ev.succeed(self._do_get())
             self._admit_putter()

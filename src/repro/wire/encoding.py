@@ -26,13 +26,23 @@ _VALID_WIRETYPES = frozenset({WIRETYPE_VARINT, WIRETYPE_FIXED64,
                               WIRETYPE_LEN, WIRETYPE_FIXED32})
 _MAX_FIELD_NUMBER = (1 << 29) - 1
 
+#: Tag bytes are pure functions of constant (number, wire_type) pairs,
+#: so validation + varint encoding happen once per pair ever, not per
+#: message.  The key space is bounded by the declared protocol fields.
+_TAG_CACHE: dict[tuple[int, int], bytes] = {}
+
 
 def encode_tag(field_number: int, wire_type: int) -> bytes:
+    tag = _TAG_CACHE.get((field_number, wire_type))
+    if tag is not None:
+        return tag
     if not 1 <= field_number <= _MAX_FIELD_NUMBER:
         raise WireEncodeError(f"field number {field_number} out of range")
     if wire_type not in _VALID_WIRETYPES:
         raise WireEncodeError(f"invalid wire type {wire_type}")
-    return encode_varint((field_number << 3) | wire_type)
+    tag = encode_varint((field_number << 3) | wire_type)
+    _TAG_CACHE[(field_number, wire_type)] = tag
+    return tag
 
 
 def decode_tag(buf: bytes, offset: int = 0) -> tuple[int, int, int]:

@@ -13,16 +13,31 @@ A message class declares ordered fields with protobuf-like types::
 Instances carry plain attributes; ``encode()`` produces protobuf-
 compatible bytes for the declared scalar types, and ``decode()`` round-
 trips them, skipping unknown fields.
+
+Two codec paths exist per class:
+
+* the **compiled plan** — built once at class-definition time, it flat-
+  tens the ordered field list into per-field closures with precomputed
+  tag bytes, a shared ``struct.Struct`` for doubles and direct varint
+  appends into a single ``bytearray``.  ``encode()``, ``decode()`` and
+  the exact ``encoded_size()`` run on this path, and message instances
+  are ``__slots__``-only (no per-instance ``__dict__``);
+* the **interpretive oracle** — the original per-field
+  :class:`FieldType` virtual dispatch, retained as
+  ``encode_oracle()``/``decode_oracle()``.  Parity tests assert the
+  compiled path is byte-identical to it on arbitrary messages.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Callable, Optional
 
 from repro.errors import WireDecodeError, WireEncodeError
 from repro.wire import encoding as enc
 from repro.wire.varint import (
-    decode_varint, decode_zigzag, encode_varint, encode_zigzag,
+    append_varint, decode_varint, decode_zigzag, encode_varint,
+    encode_zigzag, varint_size,
 )
 
 __all__ = [
@@ -31,9 +46,13 @@ __all__ = [
     "submessage", "repeated",
 ]
 
+_U64_MASK = (1 << 64) - 1
+_VALID_WIRETYPES = enc._VALID_WIRETYPES
+_PACK_D = struct.Struct("<d").pack
+
 
 class FieldType:
-    """Encode/decode strategy for a single field value."""
+    """Encode/decode strategy for a single field value (oracle path)."""
 
     wire_type: int = enc.WIRETYPE_VARINT
     repeated = False
@@ -288,12 +307,222 @@ class Field:
         return self.ftype.zero()
 
 
-class Message:
+# ---------------------------------------------------------------------------
+# Compiled codec plans
+# ---------------------------------------------------------------------------
+
+def _decode_bool(buf: bytes, offset: int) -> tuple[bool, int]:
+    v, pos = decode_varint(buf, offset)
+    return bool(v), pos
+
+
+def _compile_field(f: Field) -> tuple[Callable, Callable, Callable, Callable]:
+    """Flatten one declared field into
+    ``(encode_into, size_of, decode, validate)``.
+
+    ``encode_into(out, value)`` validates and appends tag + payload to a
+    shared ``bytearray``; ``size_of(value)`` returns the exact encoded
+    byte count without materializing anything larger than a string's
+    UTF-8 form; ``decode(buf, pos)`` is the tightest per-type reader;
+    ``validate(value)`` raises exactly the errors an encode would,
+    without computing sizes (no string encoding needed).  All four are
+    byte/semantics-identical to the interpretive oracle.
+    """
+    ft = f.ftype
+    inner = ft.inner if isinstance(ft, _Repeated) else ft
+    tag = enc.encode_tag(f.number, ft.wire_type)
+    taglen = len(tag)
+    check = inner.validate
+
+    if isinstance(inner, (_Uint64, _Enum)):
+        def enc_one(out, v, _tag=tag, _check=check):
+            _check(v)
+            if v > _U64_MASK:
+                raise WireEncodeError(f"varint overflow: {v} >= 2**64")
+            out += _tag
+            append_varint(out, int(v))
+
+        def size_one(v, _taglen=taglen, _check=check):
+            _check(v)
+            if v > _U64_MASK:
+                raise WireEncodeError(f"varint overflow: {v} >= 2**64")
+            return _taglen + varint_size(int(v))
+
+        def val_one(v, _check=check):
+            _check(v)
+            if v > _U64_MASK:
+                raise WireEncodeError(f"varint overflow: {v} >= 2**64")
+
+        if isinstance(inner, _Enum) and inner.allowed is not None:
+            dec_one = inner.decode       # enforces the allowed set
+        else:
+            dec_one = decode_varint
+    elif isinstance(inner, _Sint64):
+        def enc_one(out, v, _tag=tag, _check=check):
+            _check(v)
+            if not -(1 << 63) <= v < (1 << 63):
+                raise WireEncodeError(f"sint64 out of range: {v}")
+            out += _tag
+            append_varint(out, ((v << 1) ^ (v >> 63)) & _U64_MASK)
+
+        def size_one(v, _taglen=taglen, _check=check):
+            _check(v)
+            if not -(1 << 63) <= v < (1 << 63):
+                raise WireEncodeError(f"sint64 out of range: {v}")
+            return _taglen + varint_size(((v << 1) ^ (v >> 63)) & _U64_MASK)
+
+        def val_one(v, _check=check):
+            _check(v)
+            if not -(1 << 63) <= v < (1 << 63):
+                raise WireEncodeError(f"sint64 out of range: {v}")
+
+        dec_one = decode_zigzag
+    elif isinstance(inner, _Bool):
+        def enc_one(out, v, _tag=tag, _check=check):
+            _check(v)
+            out += _tag
+            out.append(1 if v else 0)
+
+        def size_one(v, _taglen=taglen, _check=check):
+            _check(v)
+            return _taglen + 1
+
+        val_one = check
+        dec_one = _decode_bool
+    elif isinstance(inner, _Double):
+        def enc_one(out, v, _tag=tag, _check=check):
+            _check(v)
+            out += _tag
+            out += _PACK_D(float(v))
+
+        def size_one(v, _taglen=taglen, _check=check):
+            _check(v)
+            return _taglen + 8
+
+        val_one = check
+        dec_one = enc.decode_double
+    elif isinstance(inner, _String):
+        def enc_one(out, v, _tag=tag, _check=check):
+            _check(v)
+            b = v.encode("utf-8")
+            out += _tag
+            append_varint(out, len(b))
+            out += b
+
+        def size_one(v, _taglen=taglen, _check=check):
+            _check(v)
+            n = len(v) if v.isascii() else len(v.encode("utf-8"))
+            return _taglen + varint_size(n) + n
+
+        def val_one(v, _check=check):
+            _check(v)
+            # Mode parity for unencodable strings (lone surrogates):
+            # bytes mode raises UnicodeEncodeError at the sender, so
+            # validation must too.  ASCII (the hot path) skips the
+            # encode attempt entirely.
+            if not v.isascii():
+                v.encode("utf-8")
+
+        dec_one = inner.decode           # carries the UTF-8 error wrap
+    elif isinstance(inner, _Bytes):
+        def enc_one(out, v, _tag=tag, _check=check):
+            _check(v)
+            out += _tag
+            append_varint(out, len(v))
+            out += v
+
+        def size_one(v, _taglen=taglen, _check=check):
+            _check(v)
+            n = len(v)
+            return _taglen + varint_size(n) + n
+
+        val_one = check
+        dec_one = enc.decode_len_prefixed
+    elif isinstance(inner, _Submessage):
+        def enc_one(out, v, _tag=tag, _check=check):
+            _check(v)
+            payload = v.encode()
+            out += _tag
+            append_varint(out, len(payload))
+            out += payload
+
+        def size_one(v, _taglen=taglen, _check=check):
+            _check(v)
+            n = v.encoded_size()
+            return _taglen + varint_size(n) + n
+
+        def val_one(v, _check=check):
+            _check(v)
+            v.validate()
+
+        dec_one = inner.decode
+    else:  # custom FieldType subclass: fall back to its own codec
+        def enc_one(out, v, _tag=tag, _ft=inner):
+            _ft.validate(v)
+            out += _tag
+            out += _ft.encode(v)
+
+        def size_one(v, _taglen=taglen, _ft=inner):
+            _ft.validate(v)
+            return _taglen + len(_ft.encode(v))
+
+        val_one = check
+        dec_one = inner.decode
+
+    if not ft.repeated:
+        return enc_one, size_one, dec_one, val_one
+
+    def enc_rep(out, items, _e=enc_one):
+        if not isinstance(items, (list, tuple)):
+            raise WireEncodeError(
+                f"repeated field needs list/tuple, got {items!r}")
+        for v in items:
+            _e(out, v)
+
+    def size_rep(items, _s=size_one):
+        if not isinstance(items, (list, tuple)):
+            raise WireEncodeError(
+                f"repeated field needs list/tuple, got {items!r}")
+        n = 0
+        for v in items:
+            n += _s(v)
+        return n
+
+    def val_rep(items, _v=val_one):
+        if not isinstance(items, (list, tuple)):
+            raise WireEncodeError(
+                f"repeated field needs list/tuple, got {items!r}")
+        for v in items:
+            _v(v)
+
+    return enc_rep, size_rep, dec_one, val_rep
+
+
+class MessageMeta(type):
+    """Injects ``__slots__`` for the declared field names.
+
+    Messages are the per-request allocation unit at replay scale; slots
+    keep every instance ``__dict__``-free and attribute access flat.
+    """
+
+    def __new__(mcls, name, bases, ns, **kw):
+        if "__slots__" not in ns:
+            ns["__slots__"] = tuple(f.name for f in ns.get("fields", ()))
+        return super().__new__(mcls, name, bases, ns, **kw)
+
+
+class Message(metaclass=MessageMeta):
     """Base class: subclasses set ``fields = (Field(...), ...)``."""
 
     fields: tuple[Field, ...] = ()
-    _by_number: dict[int, Field]
-    _by_name: dict[str, Field]
+    _by_number: dict[int, Field] = {}
+    _by_name: dict[str, Field] = {}
+    #: compiled plans, built once per class by ``__init_subclass__``
+    _init_plan: tuple = ()
+    _enc_plan: tuple = ()
+    _size_plan: tuple = ()
+    _val_plan: tuple = ()
+    _dec_plan: dict = {}
 
     def __init_subclass__(cls, **kw: Any) -> None:
         super().__init_subclass__(**kw)
@@ -302,18 +531,119 @@ class Message:
             raise WireEncodeError(f"{cls.__name__}: duplicate field numbers")
         cls._by_number = {f.number: f for f in cls.fields}
         cls._by_name = {f.name: f for f in cls.fields}
+        init_plan, enc_plan, size_plan, val_plan = [], [], [], []
+        dec_plan: dict[int, tuple] = {}
+        for f in cls.fields:
+            if f.default is not None:
+                init_plan.append((f.name, f.default, None))
+            elif f.ftype.repeated:
+                init_plan.append((f.name, None, list))
+            else:
+                init_plan.append((f.name, f.ftype.zero(), None))
+            enc_one, size_one, dec_one, val_one = _compile_field(f)
+            enc_plan.append((f.name, enc_one))
+            size_plan.append((f.name, size_one))
+            val_plan.append((f.name, val_one))
+            dec_plan[f.number] = (f.name, f.ftype.wire_type, dec_one,
+                                  f.ftype.repeated)
+        cls._init_plan = tuple(init_plan)
+        cls._enc_plan = tuple(enc_plan)
+        cls._size_plan = tuple(size_plan)
+        cls._val_plan = tuple(val_plan)
+        cls._dec_plan = dec_plan
 
     def __init__(self, **values: Any) -> None:
-        for f in self.fields:
-            setattr(self, f.name, f.initial())
-        for name, value in values.items():
-            if name not in self._by_name:
-                raise WireEncodeError(
-                    f"{type(self).__name__} has no field {name!r}")
-            setattr(self, name, value)
+        for name, const, factory in self._init_plan:
+            setattr(self, name, const if factory is None else factory())
+        if values:
+            by_name = self._by_name
+            for name, value in values.items():
+                if name not in by_name:
+                    raise WireEncodeError(
+                        f"{type(self).__name__} has no field {name!r}")
+                setattr(self, name, value)
 
-    # -- codec ----------------------------------------------------------
+    # -- compiled codec -------------------------------------------------
     def encode(self) -> bytes:
+        out = bytearray()
+        for name, enc_into in self._enc_plan:
+            value = getattr(self, name)
+            if value is None:
+                continue
+            enc_into(out, value)
+        return bytes(out)
+
+    def encoded_size(self) -> int:
+        """Exact ``len(self.encode())`` without building the bytes."""
+        total = 0
+        for name, size_of in self._size_plan:
+            value = getattr(self, name)
+            if value is None:
+                continue
+            total += size_of(value)
+        return total
+
+    def validate(self) -> None:
+        """Raise exactly the ``WireEncodeError`` an encode would, without
+        computing sizes or building bytes (recurses into submessages)."""
+        for name, val_of in self._val_plan:
+            value = getattr(self, name)
+            if value is None:
+                continue
+            val_of(value)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "Message":
+        msg = cls()
+        dec = cls._dec_plan
+        pos = 0
+        n = len(buf)
+        while pos < n:
+            key, pos = decode_varint(buf, pos)
+            number = key >> 3
+            wire_type = key & 0x7
+            if number == 0:
+                raise WireDecodeError("field number 0 is reserved")
+            if wire_type not in _VALID_WIRETYPES:
+                raise WireDecodeError(f"invalid wire type {wire_type}")
+            entry = dec.get(number)
+            if entry is None:
+                pos = enc.skip_field(buf, pos, wire_type)
+                continue
+            name, declared, dec_one, rep = entry
+            if wire_type != declared:
+                raise WireDecodeError(
+                    f"{cls.__name__}.{name}: wire type {wire_type} "
+                    f"!= declared {declared}")
+            value, pos = dec_one(buf, pos)
+            if rep:
+                getattr(msg, name).append(value)
+            else:
+                setattr(msg, name, value)
+        return msg
+
+    # -- interpretive oracle (parity reference) -------------------------
+    @staticmethod
+    def _oracle_encode_value(ftype: FieldType, value: Any) -> bytes:
+        # Keep the oracle independent of the compiled plan all the way
+        # down: nested messages go through encode_oracle() too, so a
+        # compiled-codec bug in a submessage-only type cannot be
+        # compared against itself by the parity tests.
+        if isinstance(ftype, _Submessage):
+            return enc.encode_len_prefixed(value.encode_oracle())
+        return ftype.encode(value)
+
+    @staticmethod
+    def _oracle_decode_value(ftype: FieldType, buf: bytes,
+                             pos: int) -> tuple[Any, int]:
+        if isinstance(ftype, _Submessage):
+            raw, pos = enc.decode_len_prefixed(buf, pos)
+            return ftype.msg_cls.decode_oracle(raw), pos
+        return ftype.decode(buf, pos)
+
+    def encode_oracle(self) -> bytes:
+        """Original per-field virtual-dispatch encoder, kept as the
+        byte-parity oracle for the compiled plan."""
         out = bytearray()
         for f in self.fields:
             value = getattr(self, f.name)
@@ -323,15 +653,16 @@ class Message:
                 f.ftype.validate(value)
                 for item in value:
                     out += enc.encode_tag(f.number, f.ftype.wire_type)
-                    out += f.ftype.encode(item)
+                    out += self._oracle_encode_value(f.ftype.inner, item)
             else:
                 f.ftype.validate(value)
                 out += enc.encode_tag(f.number, f.ftype.wire_type)
-                out += f.ftype.encode(value)
+                out += self._oracle_encode_value(f.ftype, value)
         return bytes(out)
 
     @classmethod
-    def decode(cls, buf: bytes) -> "Message":
+    def decode_oracle(cls, buf: bytes) -> "Message":
+        """Original interpretive decoder (parity oracle)."""
         msg = cls()
         pos = 0
         n = len(buf)
@@ -345,7 +676,8 @@ class Message:
                 raise WireDecodeError(
                     f"{cls.__name__}.{field.name}: wire type {wire_type} "
                     f"!= declared {field.ftype.wire_type}")
-            value, pos = field.ftype.decode(buf, pos)
+            inner = field.ftype.inner if field.ftype.repeated else field.ftype
+            value, pos = cls._oracle_decode_value(inner, buf, pos)
             if field.ftype.repeated:
                 getattr(msg, field.name).append(value)
             else:

@@ -1,11 +1,13 @@
 """Fuzz/property tests on the wire layer: arbitrary bytes never crash
-the decoder with anything other than a WireError family exception."""
+the decoder with anything other than a WireError family exception, and
+the compiled codec plans stay byte-identical to the interpretive
+oracle on arbitrary messages."""
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import WireError
-from repro.wire import decode_frame, encode_frame
+from repro.wire import WireFrame, decode_frame, encode_frame, open_frame
 from repro.wire import norns_proto as proto
 from repro.wire.encoding import decode_tag, skip_field
 from repro.wire.varint import decode_varint
@@ -29,13 +31,27 @@ class TestDecoderRobustness:
             pass
 
     @given(st.binary(max_size=64))
-    def test_message_decode_total(self, blob):
+    def test_message_decode_total_both_paths(self, blob):
+        """Garbage must fail with WireDecodeError in the compiled AND
+        the oracle decoder — never struct.error/IndexError — and when
+        both succeed they must agree."""
         for cls in (proto.ResourceDesc, proto.IotaskSubmitRequest,
                     proto.TaskStatusResponse, proto.DataspaceDesc):
+            compiled = oracle = None
+            compiled_ok = oracle_ok = False
             try:
-                cls.decode(blob)
+                compiled = cls.decode(blob)
+                compiled_ok = True
             except WireError:
                 pass
+            try:
+                oracle = cls.decode_oracle(blob)
+                oracle_ok = True
+            except WireError:
+                pass
+            assert compiled_ok == oracle_ok
+            if compiled_ok:
+                assert compiled == oracle
 
     @given(st.binary(min_size=1, max_size=64))
     def test_truncated_valid_frames_fail_cleanly(self, _ignored):
@@ -57,6 +73,19 @@ class TestDecoderRobustness:
             except WireError:
                 pass
 
+    def test_truncated_payload_fails_cleanly_in_both_decoders(self):
+        msg = proto.TaskStatusResponse(
+            error_code=proto.ERR_SUCCESS, task_id=3, status="running",
+            bytes_total=100, bytes_moved=10, eta_seconds=1.5)
+        payload = msg.encode()
+        for cut in range(1, len(payload)):
+            for decoder in (proto.TaskStatusResponse.decode,
+                            proto.TaskStatusResponse.decode_oracle):
+                try:
+                    decoder(payload[:cut])
+                except WireError:
+                    pass  # struct.error / IndexError would escape here
+
     def test_frame_roundtrip_all_protocol_messages(self):
         # Registry completeness: every registered class roundtrips empty.
         reg = proto.NORNS_PROTOCOL
@@ -64,6 +93,80 @@ class TestDecoderRobustness:
             frame = encode_frame(reg, cls())
             out, pos = decode_frame(reg, frame)
             assert type(out) is cls and pos == len(frame)
+
+
+# -- random well-formed messages: compiled plan vs interpretive oracle ------
+
+_uints = st.integers(min_value=0, max_value=2 ** 64 - 1)
+_sints = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+_texts = st.text(max_size=40)
+# NaN never compares equal, which would break decode-back equality.
+_doubles = st.floats(allow_nan=False)
+
+_resource_descs = st.builds(
+    proto.ResourceDesc,
+    kind=st.sampled_from([proto.KIND_MEMORY, proto.KIND_POSIX_PATH,
+                          proto.KIND_REMOTE_PATH]),
+    nsid=_texts, path=_texts, host=_texts, address=_uints, size=_uints)
+
+_dataspace_descs = st.builds(
+    proto.DataspaceDesc,
+    nsid=_texts, backend_kind=_texts, mount=_texts,
+    quota_bytes=_uints, track=st.booleans())
+
+_messages = st.one_of(
+    _resource_descs,
+    _dataspace_descs,
+    st.builds(proto.IotaskSubmitRequest,
+              task_type=st.sampled_from([proto.IOTASK_COPY,
+                                         proto.IOTASK_MOVE,
+                                         proto.IOTASK_REMOVE]),
+              input=_resource_descs, output=_resource_descs,
+              pid=_uints, priority=_sints, admin=st.booleans()),
+    st.builds(proto.TaskStatusResponse,
+              error_code=_uints, task_id=_uints, status=_texts,
+              task_error=_uints, bytes_total=_uints, bytes_moved=_uints,
+              eta_seconds=_doubles, elapsed_seconds=_doubles),
+    st.builds(proto.CommandRequest, command=_texts,
+              args=st.lists(_texts, max_size=6)),
+    st.builds(proto.DataspaceInfoResponse, error_code=_uints,
+              dataspaces=st.lists(_dataspace_descs, max_size=4)),
+    st.builds(proto.RegisterJobRequest, job_id=_uints,
+              hosts=st.lists(_texts, max_size=4),
+              limits=st.builds(proto.JobLimits,
+                               nsids=st.lists(_texts, max_size=4),
+                               quota_bytes=_uints)),
+)
+
+
+class TestCompiledCodecParity:
+    @given(_messages)
+    def test_encode_byte_identical_to_oracle(self, msg):
+        assert msg.encode() == msg.encode_oracle()
+
+    @given(_messages)
+    def test_encoded_size_exact(self, msg):
+        assert msg.encoded_size() == len(msg.encode())
+
+    @given(_messages)
+    def test_decode_back_equal_both_paths(self, msg):
+        payload = msg.encode()
+        cls = type(msg)
+        assert cls.decode(payload) == msg
+        assert cls.decode_oracle(payload) == msg
+
+    @given(_messages)
+    def test_wireframe_byte_identical_and_sized(self, msg):
+        reg = proto.NORNS_PROTOCOL
+        if type(msg) not in reg:     # submessage-only types have no id
+            return
+        frame = WireFrame(reg, msg)
+        raw = encode_frame(reg, msg)
+        assert len(frame) == len(raw)
+        assert frame.materialize() == raw
+        assert frame.payload_size == len(msg.encode())
+        assert open_frame(reg, frame) is msg
+        assert open_frame(reg, raw) == msg
 
 
 class TestSkipField:
