@@ -1,0 +1,124 @@
+"""Fault-injection overhead + determinism gates.
+
+Two guarantees the `repro.faults` subsystem makes:
+
+* **Free when idle** — replaying the PR 2 golden trace with a
+  *zero-fault* plan produces a report byte-identical to the golden
+  file (the armed injector leaves zero events on the calendar), and
+  driving a bigger replay with the empty plan costs no measurable
+  wall time over no plan at all.
+* **Deterministic when firing** — a seeded fault plan yields the same
+  resilience report twice in a row, byte for byte.
+
+``FAULT_BENCH_QUICK=1`` (CI) trims the overhead workload.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+from repro.cluster import build, small_test, replay_scale
+from repro.faults import FaultPlan, fault_profile
+from repro.traces import (
+    ReplayConfig, SynthesisConfig, TraceReplayer, synthesize,
+)
+from repro.util.units import GB
+
+QUICK = bool(os.environ.get("FAULT_BENCH_QUICK"))
+GOLDEN = pathlib.Path(__file__).parent.parent / "tests" / "data" / \
+    "replay_golden_default.txt"
+
+
+def golden_trace():
+    """Same synthesis as tests/test_policy_replay.py (the golden run)."""
+    cfg = SynthesisConfig(n_jobs=40, arrival="diurnal",
+                          mean_interarrival=12.0, max_nodes=2,
+                          mean_runtime=120.0, staged_fraction=0.3,
+                          stage_bytes_mean=1 * GB, stage_files=2)
+    return synthesize(cfg, seed=7)
+
+
+def overhead_trace(n_jobs: int):
+    cfg = SynthesisConfig(n_jobs=n_jobs, arrival="poisson",
+                          mean_interarrival=10.0, max_nodes=8,
+                          mean_runtime=240.0, staged_fraction=0.25,
+                          stage_bytes_mean=2 * GB, stage_files=4)
+    return synthesize(cfg, seed=0)
+
+
+def test_zero_fault_plan_byte_identical_to_golden(benchmark):
+    """Armed-but-empty injector: report identical to the PR 2 golden."""
+    trace = golden_trace()
+
+    def once():
+        handle = build(small_test(n_nodes=4), seed=7)
+        return TraceReplayer(
+            handle, trace,
+            ReplayConfig(time_compression=4.0,
+                         fault_plan=FaultPlan(name="none"))).run()
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert report.to_text() == GOLDEN.read_text()
+    assert report.resilience is None
+
+
+def test_zero_fault_plan_overhead_negligible(benchmark):
+    """Empty plan vs. no plan on a bigger replay: same bytes, ~same time."""
+    n_jobs = 300 if QUICK else 1000
+    trace = overhead_trace(n_jobs)
+
+    def run_once(plan):
+        handle = build(replay_scale(n_nodes=32), seed=0)
+        replayer = TraceReplayer(
+            handle, trace, ReplayConfig(batch_window=30.0,
+                                        fault_plan=plan))
+        t0 = time.perf_counter()
+        report = replayer.run()
+        return report, time.perf_counter() - t0
+
+    out = {}
+
+    def once():
+        base_report, base_wall = run_once(None)
+        armed_report, armed_wall = run_once(FaultPlan(name="none"))
+        out.update(base_report=base_report, base_wall=base_wall,
+                   armed_report=armed_report, armed_wall=armed_wall)
+        return armed_report
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    assert out["armed_report"].to_text() == out["base_report"].to_text()
+    overhead = out["armed_wall"] / out["base_wall"] - 1.0
+    benchmark.extra_info["jobs"] = n_jobs
+    benchmark.extra_info["base_wall_s"] = out["base_wall"]
+    benchmark.extra_info["armed_wall_s"] = out["armed_wall"]
+    benchmark.extra_info["overhead_fraction"] = overhead
+    print()
+    print(f"  {n_jobs} jobs: no plan {out['base_wall']:.2f}s, "
+          f"zero-fault plan {out['armed_wall']:.2f}s "
+          f"(overhead {100 * overhead:+.1f}%)")
+    # Generous wall-clock gate: the idle injector schedules nothing, so
+    # any real regression shows up far above noise.
+    assert overhead < 0.25, (
+        f"zero-fault plan costs {100 * overhead:.1f}% wall time")
+
+
+def test_seeded_fault_plan_deterministic(benchmark):
+    """Same plan + same seed => byte-identical resilience report."""
+    trace = overhead_trace(120 if QUICK else 300)
+
+    def once():
+        handle = build(replay_scale(n_nodes=16), seed=3)
+        plan = fault_profile("chaos", horizon=max(600.0, trace.duration),
+                             nodes=handle.node_names, seed=3)
+        return TraceReplayer(handle, trace,
+                             ReplayConfig(batch_window=30.0,
+                                          fault_plan=plan)).run()
+
+    first = benchmark.pedantic(once, rounds=1, iterations=1)
+    second = once()
+    assert first.resilience is not None
+    assert first.resilience.faults_injected > 0
+    assert "resilience" in first.to_text()
+    assert first.to_text() == second.to_text()

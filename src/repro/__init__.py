@@ -20,6 +20,10 @@ Layering (bottom-up):
   (NEXTGenIO / ARCHER-like / MareNostrum4-like presets).
 * :mod:`repro.workloads` — application models (producer/consumer, HPCG,
   OpenFOAM-like, background load).
+* :mod:`repro.traces` — trace formats, synthesizers and the replay
+  driver.
+* :mod:`repro.faults` — deterministic fault injection and resilience
+  metrics.
 * :mod:`repro.experiments` — one module per paper figure/table.
 """
 

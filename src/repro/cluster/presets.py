@@ -147,7 +147,8 @@ def marenostrum4_like(n_nodes: int = 64) -> ClusterSpec:
 
 
 def replay_scale(n_nodes: int = 64, workers: int = 4,
-                 scheduler: str = "backfill") -> ClusterSpec:
+                 scheduler: str = "backfill",
+                 fault_profile: str = "") -> ClusterSpec:
     """A NEXTGenIO-flavoured machine sized for trace-replay runs.
 
     Scales the Section V-A node recipe out to ``n_nodes`` and widens the
@@ -157,7 +158,9 @@ def replay_scale(n_nodes: int = 64, workers: int = 4,
     single-job staging behaviour matches the paper while the aggregate
     scales with the bigger rack.  ``scheduler`` picks the scheduling
     policy from the :mod:`repro.slurm.policies` registry (the policy
-    A/B experiment replays one trace across all of them).
+    A/B experiment replays one trace across all of them);
+    ``fault_profile`` names a default failure schedule from the
+    :mod:`repro.faults.profiles` registry for resilience studies.
     """
     base = nextgenio(n_nodes=n_nodes, workers=workers)
     return ClusterSpec(
@@ -189,10 +192,12 @@ def replay_scale(n_nodes: int = 64, workers: int = 4,
         ),
         urd_workers=workers,
         scheduler_policy=scheduler,
+        fault_profile=fault_profile,
     )
 
 
-def small_test(n_nodes: int = 4, scheduler: str = "backfill") -> ClusterSpec:
+def small_test(n_nodes: int = 4, scheduler: str = "backfill",
+               fault_profile: str = "") -> ClusterSpec:
     """A small, fast cluster for unit tests and examples."""
     spec = nextgenio(n_nodes=n_nodes)
     return ClusterSpec(
@@ -211,4 +216,5 @@ def small_test(n_nodes: int = 4, scheduler: str = "backfill") -> ClusterSpec:
         pfs=spec.pfs,
         urd_workers=4,
         scheduler_policy=scheduler,
+        fault_profile=fault_profile,
     )

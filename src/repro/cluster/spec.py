@@ -79,6 +79,10 @@ class ClusterSpec:
     #: builder passes it to slurmctld unless an explicit
     #: :class:`~repro.slurm.slurmctld.SlurmConfig` overrides it.
     scheduler_policy: str = "backfill"
+    #: Default fault profile from the :mod:`repro.faults.profiles`
+    #: registry ("node-churn", "chaos", ...) applied by replay drivers
+    #: when no explicit ``--faults`` plan is given; "" = no faults.
+    fault_profile: str = ""
 
     def dataspace_ids(self) -> tuple[str, ...]:
         ids = [d.dataspace_id for d in self.nodes.devices]

@@ -182,6 +182,10 @@ class NornsTimeout(NornsError):
 # ---------------------------------------------------------------------------
 
 
+class FaultError(ReproError):
+    """Malformed fault plan or invalid fault-injection target."""
+
+
 class SlurmError(ReproError):
     """Base class for scheduler-side errors."""
 

@@ -25,6 +25,7 @@ REGISTRY = (
     ("table5", "repro.experiments.table5_openfoam"),
     ("replay", "repro.experiments.trace_replay"),
     ("policies", "repro.experiments.policy_ab"),
+    ("resilience", "repro.experiments.resilience"),
 )
 
 

@@ -1,0 +1,267 @@
+"""The fault-injection engine: compile a plan onto the DES calendar.
+
+A :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to a built cluster (:class:`~repro.cluster.builder.ClusterHandle`) and
+schedules one :meth:`~repro.sim.core.Simulator.cancellable_timeout` per
+record — the same lazily-cancellable primitive the flow engine uses, so
+an injector that never fires (a zero-fault plan, or ``stop()`` before
+the first record) leaves **zero** events on the calendar and the run is
+bit-identical to one without the injector.
+
+Injection is pure virtual-time bookkeeping, so a seeded plan replays
+deterministically: same plan + same cluster seed ⇒ identical outcomes,
+run after run.  Recovery is symmetric — every degradation restores the
+capacity captured when the fault fired, crashes reboot via
+``slurmctld.restore_node`` — and every fire/recover pair feeds the
+:class:`ResilienceStats` the replay report renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan, FaultRecord
+from repro.util.units import format_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.builder import ClusterHandle
+
+__all__ = ["ResilienceStats", "FaultInjector", "PARTITION_FLOOR"]
+
+#: Capacity floor (bytes/s) a partitioned link is re-rated to; the flow
+#: engine needs strictly positive capacities, and one byte per second
+#: stalls any real transfer until recovery.
+PARTITION_FLOOR = 1.0
+
+
+@dataclass
+class ResilienceStats:
+    """Aggregate outcome of a faulted run (the report's new tables)."""
+
+    faults_injected: int = 0
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: jobs knocked back to PENDING and rescheduled (ctld accounting).
+    jobs_requeued: int = 0
+    #: jobs that ran out of requeue budget (terminal FAILED).
+    jobs_failed: int = 0
+    #: urd task counters, summed over every node.
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    tasks_lost: int = 0
+    #: staging work redone: bytes of in-flight/queued tasks lost to
+    #: restarts plus bytes moved by corrupted (re-executed) transfers.
+    bytes_lost: int = 0
+    bytes_corrupted: int = 0
+    urd_restarts: int = 0
+    #: node-seconds of down time (crash → restore), summed over nodes.
+    node_downtime: float = 0.0
+    #: per-recovery durations (crash reboots, degradation windows).
+    recoveries: List[float] = field(default_factory=list)
+    #: fraction of jobs that still completed (goodput vs. the
+    #: same-seed zero-fault baseline's completed fraction).
+    goodput: float = 0.0
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to recovery over every recovered fault."""
+        if not self.recoveries:
+            return 0.0
+        return sum(self.recoveries) / len(self.recoveries)
+
+    def rows(self) -> List[tuple]:
+        """(metric, value) rows for the report's resilience table."""
+        kinds = ", ".join(f"{k}:{n}" for k, n in
+                          sorted(self.faults_by_kind.items())) or "-"
+        return [
+            ("faults injected", self.faults_injected),
+            ("fault mix", kinds),
+            ("jobs requeued", self.jobs_requeued),
+            ("jobs failed", self.jobs_failed),
+            ("urd restarts", self.urd_restarts),
+            ("urd tasks failed", self.tasks_failed),
+            ("urd tasks retried", self.tasks_retried),
+            ("urd tasks lost", self.tasks_lost),
+            ("staging bytes lost", format_bytes(self.bytes_lost)),
+            ("staging bytes corrupted",
+             format_bytes(self.bytes_corrupted)),
+            ("node downtime s", f"{self.node_downtime:.3f}"),
+            ("MTTR s", f"{self.mttr:.3f}"),
+            ("goodput", f"{self.goodput:.4f}"),
+        ]
+
+
+class FaultInjector:
+    """Drives one fault plan against one built cluster."""
+
+    def __init__(self, handle: "ClusterHandle", plan: FaultPlan) -> None:
+        self.handle = handle
+        self.sim = handle.sim
+        self.plan = plan
+        plan.validate(handle.nodes.keys())
+        for rec in plan.records:
+            if rec.kind == "device_degrade" \
+                    and rec.device not in handle.nodes[rec.target].mounts:
+                raise FaultError(
+                    f"device_degrade: node {rec.target!r} has no device "
+                    f"{rec.device!r}")
+        self.stats = ResilienceStats()
+        self._handles: List = []
+        self._started = False
+        #: constraint -> capacity captured when its first fault fired.
+        self._baselines: Dict[object, float] = {}
+        #: node -> crash instant (for downtime accounting).
+        self._crashed_at: Dict[str, float] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self, at: Optional[float] = None) -> "FaultInjector":
+        """Arm the plan: one cancellable timeout per record, anchored at
+        ``at`` (default now).  A zero-fault plan schedules nothing."""
+        if self._started:
+            raise FaultError("injector already started")
+        self._started = True
+        base = self.sim.now if at is None else float(at)
+        for i, rec in enumerate(self.plan.sorted_records()):
+            self._at(base + rec.time, lambda rec=rec: self._fire(rec),
+                     name=f"fault:{i}:{rec.kind}")
+        return self
+
+    def stop(self) -> None:
+        """Cancel every armed (not yet fired) injection/recovery."""
+        for h in self._handles:
+            h.cancel()
+        self._handles.clear()
+
+    def _at(self, when: float, action, name: str) -> None:
+        handle = self.sim.cancellable_timeout(at=when, name=name)
+        handle.event.add_callback(lambda _ev: action())
+        self._handles.append(handle)
+
+    # -- injection -------------------------------------------------------
+    def _fire(self, rec: FaultRecord) -> None:
+        self.stats.faults_injected += 1
+        self.stats.faults_by_kind[rec.kind] = \
+            self.stats.faults_by_kind.get(rec.kind, 0) + 1
+        getattr(self, f"_do_{rec.kind}")(rec)
+
+    def _recover_in(self, rec: FaultRecord, action) -> None:
+        if rec.duration > 0:
+            self._at(self.sim.now + rec.duration, action,
+                     name=f"fault:recover:{rec.kind}:{rec.target}")
+
+    # node crash / reboot ------------------------------------------------
+    def _do_node_crash(self, rec: FaultRecord) -> None:
+        node = rec.target
+        self._crashed_at[node] = self.sim.now
+        # The node's daemon dies with it: queued/in-flight NORNS work is
+        # lost and its E.T.A. state resets, then the controller knocks
+        # out (and requeues) every job touching the node.
+        self.handle.nodes[node].urd.restart()
+        self.handle.ctld.fail_node(node, reason=rec.note or "fault")
+        self._recover_in(rec, lambda: self._reboot(node))
+
+    def _reboot(self, node: str) -> None:
+        self.handle.ctld.restore_node(node)
+        crashed = self._crashed_at.pop(node, None)
+        if crashed is not None:
+            down = self.sim.now - crashed
+            self.stats.node_downtime += down
+            self.stats.recoveries.append(down)
+
+    # drain / resume -------------------------------------------------------
+    def _do_node_drain(self, rec: FaultRecord) -> None:
+        node = rec.target
+        self.handle.ctld.drain_node(node, reason=rec.note or "fault drain")
+        started = self.sim.now
+
+        def resume():
+            # Drain-only recovery: a node that crashed inside the
+            # window stays down until its own reboot.
+            self.handle.ctld.undrain_node(node)
+            self.stats.recoveries.append(self.sim.now - started)
+
+        self._recover_in(rec, resume)
+
+    def _do_node_resume(self, rec: FaultRecord) -> None:
+        self.handle.ctld.undrain_node(rec.target)
+
+    # urd restart ----------------------------------------------------------
+    def _do_urd_restart(self, rec: FaultRecord) -> None:
+        self.handle.nodes[rec.target].urd.restart()
+
+    # link faults ----------------------------------------------------------
+    def _degrade_link(self, rec: FaultRecord, factor: float) -> None:
+        """Re-rate a node's NIC paths via :meth:`Fabric
+        .set_port_bandwidth`; recovery restores the baselines captured
+        when the fault fired."""
+        fabric = self.handle.fabric
+        port = fabric.port(rec.target)
+        e0 = self._baselines.setdefault(port.egress, port.egress.capacity)
+        i0 = self._baselines.setdefault(port.ingress,
+                                        port.ingress.capacity)
+        fabric.set_port_bandwidth(
+            rec.target,
+            egress=max(e0 * factor, PARTITION_FLOOR),
+            ingress=max(i0 * factor, PARTITION_FLOOR))
+        started = self.sim.now
+
+        def lift():
+            fabric.set_port_bandwidth(rec.target, egress=e0, ingress=i0)
+            self.stats.recoveries.append(self.sim.now - started)
+
+        self._recover_in(rec, lift)
+
+    def _do_link_degrade(self, rec: FaultRecord) -> None:
+        self._degrade_link(rec, rec.magnitude)
+
+    def _do_link_partition(self, rec: FaultRecord) -> None:
+        self._degrade_link(rec, 0.0)
+
+    # storage faults -------------------------------------------------------
+    def _do_device_degrade(self, rec: FaultRecord) -> None:
+        device = self.handle.nodes[rec.target].mounts[rec.device].device
+        r0 = self._baselines.setdefault(device.read_path,
+                                        device.read_path.capacity)
+        w0 = self._baselines.setdefault(device.write_path,
+                                        device.write_path.capacity)
+        device.set_bandwidth(read=max(r0 * rec.magnitude, PARTITION_FLOOR),
+                             write=max(w0 * rec.magnitude,
+                                       PARTITION_FLOOR))
+        started = self.sim.now
+
+        def lift():
+            device.set_bandwidth(read=r0, write=w0)
+            self.stats.recoveries.append(self.sim.now - started)
+
+        self._recover_in(rec, lift)
+
+    # transfer corruption ----------------------------------------------------
+    def _do_transfer_corrupt(self, rec: FaultRecord) -> None:
+        self.handle.nodes[rec.target].urd.inject_corruption(
+            int(rec.magnitude))
+
+    # -- aggregation -------------------------------------------------------
+    def finalize(self, completed_jobs: int = 0,
+                 total_jobs: int = 0) -> ResilienceStats:
+        """Fold the cluster's counters into the stats (run finished)."""
+        stats = self.stats
+        ctld = self.handle.ctld
+        stats.jobs_requeued = sum(r.requeues
+                                  for r in ctld.accounting.records())
+        stats.jobs_failed = sum(
+            1 for r in ctld.accounting.records() if r.fault_failed)
+        for name in sorted(self.handle.nodes):
+            urd = self.handle.nodes[name].urd
+            stats.tasks_failed += urd.tasks_failed
+            stats.tasks_retried += urd.tasks_retried
+            stats.tasks_lost += urd.tasks_lost
+            stats.bytes_lost += urd.bytes_lost
+            stats.bytes_corrupted += urd.bytes_corrupted
+            stats.urd_restarts += urd.restarts
+        # Any node still down when the run ends counts downtime to now.
+        for node, crashed in sorted(self._crashed_at.items()):
+            stats.node_downtime += self.sim.now - crashed
+        if total_jobs > 0:
+            stats.goodput = completed_jobs / total_jobs
+        return stats

@@ -72,6 +72,18 @@ class Fabric:
     def nodes(self) -> list[str]:
         return sorted(self._ports)
 
+    def set_port_bandwidth(self, name: str,
+                           egress: Optional[float] = None,
+                           ingress: Optional[float] = None) -> None:
+        """Re-rate a node's NIC paths (fault injection: link degradation
+        or recovery).  In-flight transfers through the port are advanced
+        and reallocated under the new capacities."""
+        port = self.port(name)
+        if egress is not None:
+            self.flows.set_capacity(port.egress, egress)
+        if ingress is not None:
+            self.flows.set_capacity(port.ingress, ingress)
+
     def __contains__(self, name: str) -> bool:
         return name in self._ports
 

@@ -133,6 +133,14 @@ class TaskQueue:
         ev.add_callback(hand_over)
         return done
 
+    def drain(self) -> list[IOTask]:
+        """Remove and return every queued task (pop order).
+
+        Models the daemon losing its queue on a crash/restart: callers
+        mark the drained tasks failed so their waiters unblock.
+        """
+        return list(self._store.drain())
+
     def pending_bytes(self) -> int:
         """Sum of size hints of queued tasks (feeds E.T.A. estimates)."""
         return sum(t.size_hint() for t in self._store.items)

@@ -70,6 +70,14 @@ class IOTask:
     job_id: int = 0              # owning batch job (0 = administrative)
     priority: int = 0            # user-requested priority (lower = sooner)
     admin: bool = False          # submitted through the control API
+    #: completed-but-corrupted executions so far (fault injection); the
+    #: urd re-queues the task with backoff until the retry budget is
+    #: spent.
+    attempts: int = 0
+    #: daemon incarnation that queued the task; a worker receiving a
+    #: task across a restart (popped in the same instant the daemon
+    #: died) treats it as lost instead of running it.
+    epoch: int = 0
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None

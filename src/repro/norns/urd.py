@@ -96,6 +96,11 @@ class UrdConfig:
     metadata_op_time: float = 5.0e-6
     #: Default route rate assumed before any observation (bytes/s).
     eta_default_rate: float = 1.0e9
+    #: How many times a corrupted transfer is re-executed before the
+    #: task is failed (fault-injection resilience path).
+    task_retries: int = 2
+    #: Base delay before a retry; doubles per attempt.
+    retry_backoff: float = 0.05
 
 
 class UrdDirectory:
@@ -151,6 +156,24 @@ class UrdDaemon:
         self.requests_served = 0
         self.tasks_completed = 0
         self.tasks_failed = 0
+        # -- resilience bookkeeping (repro.faults) ---------------------
+        #: corrupted executions that were re-queued with backoff.
+        self.tasks_retried = 0
+        #: queued/in-flight tasks lost to daemon restarts.
+        self.tasks_lost = 0
+        self.bytes_lost = 0
+        self.bytes_corrupted = 0
+        self.restarts = 0
+        #: armed corruption count (next N transfers fail verification).
+        self._corrupt_next = 0
+        #: incarnation counter — a worker resuming from a transfer that
+        #: started before a restart discards its stale result.
+        self._epoch = 0
+        #: tasks currently executing on a worker (restart loses them).
+        self._running: Dict[int, IOTask] = {}
+        #: corruption retries waiting out their backoff, task_id ->
+        #: (task, timeout handle) — restart loses these as well.
+        self._backoff: Dict[int, tuple] = {}
 
         # Sockets: control for the scheduler, user for applications.
         self._control_listener = hub.listen(
@@ -316,10 +339,12 @@ class UrdDaemon:
             error_code=proto.ERR_SUCCESS,
             running_tasks=running,
             pending_tasks=len(self.queue),
-            completed_tasks=self.tasks_completed + self.tasks_failed,
+            completed_tasks=self.tasks_completed,
             registered_jobs=len(self.controller.jobs()),
             registered_dataspaces=len(self.controller.dataspaces()),
-            accepting=self.accepting)
+            accepting=self.accepting,
+            failed_tasks=self.tasks_failed,
+            retried_tasks=self.tasks_retried)
 
     # -- dataspace registration -------------------------------------------
     #: node-local mount table: mount path -> backend, provided by slurmd
@@ -370,6 +395,7 @@ class UrdDaemon:
         eta = self.tracker.eta(route, task.stats.bytes_total,
                                self.queue.pending_bytes())
         task.mark_queued(self.sim.now)
+        task.epoch = self._epoch
         self._tasks[task.task_id] = task
         self.queue.push(task)
         return proto.SubmitResponse(error_code=proto.ERR_SUCCESS,
@@ -476,9 +502,24 @@ class UrdDaemon:
                               membus=self.membus)
         while True:
             task = yield self.queue.pop()
+            if task.stats.is_terminal:
+                continue  # lost to a daemon restart while queued
+            if task.epoch != self._epoch:
+                # Handed over in the very instant the daemon died
+                # (popped from the store before restart() could drain
+                # it): it is lost in-flight work, not survivor work.
+                self.tasks_lost += 1
+                self.bytes_lost += task.stats.bytes_total
+                task.mark_error(self.sim.now, proto.ERR_TASKERROR,
+                                "urd restart: task lost in hand-off")
+                self.tasks_failed += 1
+                continue
+            epoch = self._epoch
             task.mark_running(self.sim.now)
             self.controller.task_started(task)
+            self._running[task.task_id] = task
             bytes_moved = 0
+            failure: Optional[tuple[int, str]] = None
             try:
                 if task.task_type == TaskType.REMOVE:
                     yield self.sim.timeout(self.config.metadata_op_time)
@@ -493,8 +534,36 @@ class UrdDaemon:
                         plugin.execute(ctx, task),
                         name=f"urd:{self.node}:{plugin.name}")
             except (NornsError, StorageError) as exc:
+                failure = (error_code_for(exc), str(exc))
+            if epoch != self._epoch:
+                # The daemon restarted mid-transfer: restart() already
+                # marked the task lost; discard the stale result.
+                continue
+            self._running.pop(task.task_id, None)
+            if failure is None and self._corrupt_next > 0 \
+                    and task.task_type != TaskType.REMOVE:
+                # Injected corruption: the bytes moved but failed
+                # verification.  Retry with exponential backoff until
+                # the budget is spent (destination overwrite is safe).
+                self._corrupt_next -= 1
+                self.bytes_corrupted += bytes_moved
+                if task.attempts < self.config.task_retries:
+                    task.attempts += 1
+                    self.tasks_retried += 1
+                    self.controller.task_ended(task, 0)
+                    task.stats.status = TaskStatus.QUEUED
+                    delay = self.config.retry_backoff \
+                        * (2 ** (task.attempts - 1))
+                    handle = self.sim.cancellable_timeout(delay)
+                    self._backoff[task.task_id] = (task, handle)
+                    handle.event.add_callback(
+                        lambda _e, t=task: self._requeue_retry(t))
+                    continue
+                failure = (proto.ERR_TASKERROR,
+                           "transfer corrupted (retry budget spent)")
+            if failure is not None:
                 self.controller.task_ended(task, 0)
-                task.mark_error(self.sim.now, error_code_for(exc), str(exc))
+                task.mark_error(self.sim.now, failure[0], failure[1])
                 self.tasks_failed += 1
                 continue
             self.controller.task_ended(task, bytes_moved)
@@ -503,6 +572,70 @@ class UrdDaemon:
             if task.elapsed and bytes_moved:
                 self.tracker.observe(self._route_of(task), bytes_moved,
                                      task.elapsed)
+
+    def _requeue_retry(self, task: IOTask) -> None:
+        """Backoff expired: hand the corrupted task back to the queue."""
+        self._backoff.pop(task.task_id, None)
+        task.epoch = self._epoch
+        self.queue.push(task)
+
+    # ------------------------------------------------------------------
+    # Fault hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def inject_corruption(self, count: int = 1) -> None:
+        """Arm the corruption hook: the next ``count`` data-moving
+        transfers complete, fail verification, and are re-queued with
+        backoff (or failed once the retry budget is spent)."""
+        if count < 0:
+            raise NornsError(f"negative corruption count {count}")
+        self._corrupt_next += int(count)
+
+    def restart(self) -> Dict[str, int]:
+        """Crash/restart the daemon (fault injection).
+
+        Queued and in-flight tasks are lost — marked ERROR at this
+        instant so clients parked in ``norns_wait`` unblock with a task
+        error — and the observed transfer-rate state is discarded, so
+        every E.T.A. falls back to the configured prior until new
+        transfers are observed.  Workers survive as the new
+        incarnation's pool; a worker resuming from a transfer started
+        before the restart discards its stale result (epoch guard).
+
+        Returns ``{"tasks": lost_count, "bytes": lost_bytes}``.
+        """
+        self._epoch += 1
+        lost = 0
+        lost_bytes = 0
+        for task in self.queue.drain():
+            lost += 1
+            lost_bytes += task.stats.bytes_total
+            task.mark_error(self.sim.now, proto.ERR_TASKERROR,
+                            "urd restart: queued task lost")
+            self.tasks_failed += 1
+        for task, handle in list(self._backoff.values()):
+            handle.cancel()
+            lost += 1
+            lost_bytes += task.stats.bytes_total
+            task.mark_error(self.sim.now, proto.ERR_TASKERROR,
+                            "urd restart: retry-pending task lost")
+            self.tasks_failed += 1
+        self._backoff.clear()
+        for task in list(self._running.values()):
+            lost += 1
+            lost_bytes += task.stats.bytes_total
+            self.controller.task_ended(task, 0)
+            task.mark_error(self.sim.now, proto.ERR_TASKERROR,
+                            "urd restart: in-flight task lost")
+            self.tasks_failed += 1
+        self._running.clear()
+        self.tasks_lost += lost
+        self.bytes_lost += lost_bytes
+        # E.T.A. invalidation: a rebooted daemon has no observations.
+        self.tracker = TransferRateTracker(
+            default_rate=self.config.eta_default_rate)
+        self.restarts += 1
+        self.accepting = True
+        return {"tasks": lost, "bytes": lost_bytes}
 
     # ------------------------------------------------------------------
     # Remote handlers (the network manager's RPC surface)

@@ -180,6 +180,11 @@ class Process(Event):
 
     # -- engine -------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
+        if self._state != PENDING:
+            # Stale wake-up: a second interrupt was queued for the same
+            # instant and the first one already ran the generator to
+            # completion (e.g. a cancel racing a node-failure knockout).
+            return
         self._waiting_on = None
         self.sim._active_process = self
         event: Any = trigger

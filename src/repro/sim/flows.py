@@ -292,6 +292,36 @@ class FlowScheduler:
         done_event.fail(SimError(f"flow #{flow.fid} cancelled"))
         self._schedule_wake()
 
+    def set_capacity(self, constraint: CapacityConstraint,
+                     capacity: float) -> None:
+        """Change a constraint's capacity and reallocate around it.
+
+        The fault-injection subsystem uses this to model link/device
+        degradation and recovery: flows currently crossing the
+        constraint are advanced to *now* at their old rates, then the
+        constraint's component is reallocated under the new capacity.
+        Constraints with no active flows just take the new value (it
+        applies to the next transfer).
+        """
+        if capacity <= 0:
+            raise SimError(
+                f"constraint {constraint.name!r} needs positive capacity")
+        if capacity == constraint.capacity:
+            return
+        self._run_due()
+        comp = constraint._component
+        finished: List[Flow] = []
+        if comp is not None and comp.alive:
+            self._advance(comp, self.sim.now, finished)
+        constraint.capacity = float(capacity)
+        if finished:
+            # Epsilon-band completions surfaced by the advance settle
+            # first (this also reallocates the surviving component).
+            self._finish_batch(finished)
+        elif comp is not None and comp.alive:
+            self._allocate(comp)
+        self._schedule_wake()
+
     @property
     def active(self) -> int:
         return len(self._flows)

@@ -162,6 +162,19 @@ class Store:
             return True, item
         return False, None
 
+    def drain(self) -> list[Any]:
+        """Remove and return every queued item (in pop order).
+
+        Blocked getters stay parked; blocked putters are admitted up to
+        capacity afterwards.  Used by failure injection to model a
+        daemon losing its queued work on restart.
+        """
+        out = []
+        while len(self):
+            out.append(self._do_get())
+        self._admit_putter()
+        return out
+
     def _wake_getter(self) -> None:
         while self._getters and len(self):
             ev = self._getters.popleft()

@@ -36,6 +36,12 @@ class JobRecord:
     stage_out_eta_seconds: float = 0.0
     bytes_staged_in: int = 0
     bytes_staged_out: int = 0
+    #: times the job was knocked back to PENDING (node failure or a
+    #: fault-induced staging/step failure) and rescheduled.
+    requeues: int = 0
+    #: the job failed because a knockout found its requeue budget spent
+    #: (true even when the budget was zero and it never requeued).
+    fault_failed: bool = False
     warnings: List[str] = field(default_factory=list)
 
     @property

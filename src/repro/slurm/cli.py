@@ -15,10 +15,16 @@ The module is also runnable — ``python -m repro.slurm.cli <command>``:
   slurmctld/urd, and print the metrics report;
 * ``run`` submits ``#SBATCH``/``#NORNS`` batch scripts to a fresh
   cluster and prints the resulting accounting;
-* ``policies`` lists the registered scheduling policies.
+* ``policies`` lists the registered scheduling policies;
+* ``faults`` lists fault profiles, emits a seeded plan file, or
+  describes an existing plan.
 
 Both ``run`` and ``replay`` take ``--scheduler`` to pick any policy
-from the :mod:`repro.slurm.policies` registry.
+from the :mod:`repro.slurm.policies` registry, and ``--faults
+PLAN.jsonl`` to inject a deterministic failure schedule
+(:mod:`repro.faults`); ``replay`` can also name a ``--fault-profile``
+directly and then reports resilience metrics (requeues, lost staging
+work, MTTR, goodput).
 """
 
 from __future__ import annotations
@@ -86,10 +92,15 @@ def sworkflow(ctld: Slurmctld, workflow_id: int) -> str:
 
 
 def sinfo(ctld: Slurmctld) -> str:
-    """Node availability summary."""
+    """Node availability summary (idle / alloc / drain / down)."""
     free = ctld.free_nodes
-    rows = [(name, "idle" if name in free else "alloc")
-            for name in sorted(ctld.slurmds)]
+    rows = []
+    for name, state in ctld.node_states():
+        if state in ("idle", "alloc"):
+            # Keep the historical free-set view for healthy nodes (a
+            # node mid-release counts idle the moment it leaves use).
+            state = "idle" if name in free else "alloc"
+        rows.append((name, state))
     return render_table(("NODE", "STATE"), rows, title="sinfo")
 
 
@@ -132,6 +143,7 @@ def _build_replay_parser(sub) -> None:
     p.add_argument("--save-trace", metavar="FILE",
                    help="also write the (synthesized) trace to FILE "
                         "(.swf or .jsonl)")
+    _add_fault_options(p, with_profile=True)
     p.set_defaults(func=_cmd_replay)
 
 
@@ -161,12 +173,14 @@ def _cmd_replay(args) -> int:
         else:
             dump_jsonl(trace, args.save_trace)
     handle = _build_preset(args)
+    plan = _resolve_fault_plan(args, handle, trace)
     replayer = TraceReplayer(
         handle, trace,
         ReplayConfig(time_compression=args.compression,
                      batch_window=args.batch_window,
                      runtime_scale=args.runtime_scale,
-                     scheduler=args.scheduler))
+                     scheduler=args.scheduler,
+                     fault_plan=plan))
     report = replayer.run()
     print(report.to_text())
     return 0 if report.completed == trace.n_jobs else 1
@@ -190,18 +204,53 @@ def _build_run_parser(sub) -> None:
                    help="override the preset's node count")
     _add_scheduler_option(p)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--drain", metavar="NODES", default="",
+                   help="comma-separated nodes to drain before any "
+                        "submission (they take no allocations)")
+    _add_fault_options(p, with_profile=False)
     p.set_defaults(func=_cmd_run)
 
 
 def _cmd_run(args) -> int:
     handle = _build_preset(args)
     ctld = handle.ctld
+    for node in (n.strip() for n in args.drain.split(",")):
+        if node:
+            ctld.drain_node(node, reason="drained via --drain")
+    injector = None
+    if args.faults:
+        from repro.faults import FaultInjector, load_plan
+        injector = FaultInjector(handle, load_plan(args.faults))
+        if injector.plan.n_faults:
+            # Only a plan that actually fires flips the failure
+            # semantics; an empty plan must change nothing.
+            ctld.config.requeue_on_failure = True
+        injector.start()
     jobs = []
     for path in args.scripts:
         with open(path) as fh:
             jobs.append(ctld.submit_script(fh.read()))
-    handle.sim.run(ctld.drain())
+    from repro.errors import SimulationEnded
+    stranded = []
+    try:
+        handle.sim.run(ctld.drain())
+    except SimulationEnded:
+        # Drained nodes or a permanent fault under-size the partition
+        # for some pending job: report what did run.
+        stranded = [j for j in jobs if not j.state.is_terminal]
     print(sacct(ctld))
+    for job in stranded:
+        print(f"job {job.job_id} ({job.spec.name}): stranded pending "
+              "(not enough serviceable nodes)")
+    if args.drain:
+        print(sinfo(ctld))
+    if injector is not None and injector.plan.n_faults:
+        injector.stop()
+        completed = sum(1 for j in jobs if j.state.value == "completed")
+        stats = injector.finalize(completed_jobs=completed,
+                                  total_jobs=len(jobs))
+        print(render_table(("metric", "value"), stats.rows(),
+                           title="resilience"))
     failed = [j for j in jobs if j.state.value != "completed"]
     for job in failed:
         print(f"job {job.job_id} ({job.spec.name}): {job.state.value}"
@@ -227,7 +276,91 @@ def _cmd_policies(_args) -> int:
     return 0
 
 
+# -- faults: profile listing / plan emission / plan inspection ----------
+def _build_faults_parser(sub) -> None:
+    p = sub.add_parser(
+        "faults",
+        help="fault profiles: list, emit a plan file, describe a plan",
+        description="Without options, list the registered fault "
+                    "profiles (repro.faults).  --emit PROFILE writes a "
+                    "seeded JSONL fault plan usable with 'replay "
+                    "--faults' / 'run --faults'; --show FILE renders "
+                    "an existing plan.")
+    p.add_argument("--emit", metavar="PROFILE", default="",
+                   help="generate a plan from this profile")
+    p.add_argument("--out", metavar="FILE", default="",
+                   help="plan file to write (with --emit)")
+    p.add_argument("--horizon", type=float, default=3600.0,
+                   help="profile horizon in virtual seconds")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="node count the plan targets (cn0..cnN-1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--show", metavar="FILE", default="",
+                   help="describe an existing JSONL plan file")
+    p.set_defaults(func=_cmd_faults)
+
+
+def _render_plan(plan) -> str:
+    rows = [(f"{r.time:g}", r.kind, r.target, f"{r.duration:g}",
+             f"{r.magnitude:g}", r.device or "-", r.note or "-")
+            for r in plan.sorted_records()]
+    return render_table(
+        ("T+S", "KIND", "NODE", "DURATION", "MAGNITUDE", "DEVICE",
+         "NOTE"), rows,
+        title=f"fault plan {plan.name!r} ({plan.n_faults} records, "
+              f"horizon {plan.horizon:g}s)")
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import (
+        available_profiles, dump_plan, fault_profile, load_plan,
+    )
+    if args.show:
+        print(_render_plan(load_plan(args.show)))
+        return 0
+    if args.emit:
+        nodes = [f"cn{i}" for i in range(args.nodes)]
+        plan = fault_profile(args.emit, horizon=args.horizon,
+                             nodes=nodes, seed=args.seed)
+        print(_render_plan(plan))
+        if args.out:
+            dump_plan(plan, args.out)
+            print(f"wrote {plan.n_faults} records to {args.out}")
+        return 0
+    rows = list(available_profiles())
+    print(render_table(("PROFILE", "DESCRIPTION"), rows,
+                       title="fault profiles"))
+    return 0
+
+
 # -- shared helpers ------------------------------------------------------
+def _add_fault_options(p, with_profile: bool) -> None:
+    p.add_argument("--faults", metavar="PLAN", default="",
+                   help="JSONL fault plan to inject (see the 'faults' "
+                        "subcommand)")
+    if with_profile:
+        from repro.faults import available_profiles
+        names = [name for name, _ in available_profiles()]
+        p.add_argument("--fault-profile", default="",
+                       choices=[""] + names, metavar="PROFILE",
+                       help="generate the plan from a named profile "
+                            f"instead (one of: {', '.join(names)}); "
+                            "default: the preset's fault_profile")
+
+
+def _resolve_fault_plan(args, handle, trace):
+    """--faults file wins; else an explicit or preset fault profile."""
+    from repro.faults import fault_profile, load_plan
+    if args.faults:
+        return load_plan(args.faults)
+    profile = args.fault_profile or handle.spec.fault_profile
+    if not profile:
+        return None
+    horizon = max(60.0, trace.duration / args.compression)
+    return fault_profile(profile, horizon=horizon,
+                         nodes=handle.node_names, seed=args.seed)
+
+
 def _add_scheduler_option(p) -> None:
     names = [name for name, _ in available_policies()]
     p.add_argument("--scheduler", default="", choices=[""] + names,
@@ -263,6 +396,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     _build_replay_parser(sub)
     _build_run_parser(sub)
     _build_policies_parser(sub)
+    _build_faults_parser(sub)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -126,6 +126,9 @@ class JobSpec:
     nodelist: tuple[str, ...] = ()
     #: timeout for stage-in before the job is terminated (Section III).
     staging_timeout: float = 7200.0
+    #: per-job cap on requeues after node failures (None = the
+    #: controller's :attr:`SlurmConfig.max_requeues`).
+    max_requeues: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -164,7 +167,17 @@ class Job:
         self.done: Optional[Event] = None
         #: node hints for data-aware placement (producer's nodes).
         self.data_hints: tuple[str, ...] = ()
+        #: times this job was requeued (node failure / fault recovery).
+        self.requeues: int = 0
         self._step_procs: list = []
+        #: the jobctl lifecycle process (set at allocation); the node
+        #: failure path interrupts it to trigger requeue semantics.
+        self._ctl_proc = None
+        #: the staging phase process currently awaited (if any).
+        self._phase_proc = None
+        #: a knockout is in flight (suppresses double interrupts when
+        #: several of the job's nodes fail at the same instant).
+        self._knocked = False
 
     @property
     def expected_end(self) -> Optional[float]:

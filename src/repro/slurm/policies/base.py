@@ -95,14 +95,24 @@ class SchedulingPolicy(abc.ABC):
         return list(ordered[:job.spec.nodes])
 
     @staticmethod
-    def completion_events(now: float,
-                          running: Sequence[Job]) -> list[tuple]:
-        """Expected (end, nodes) of every running job, soonest first."""
+    def completion_events(now: float, running: Sequence[Job],
+                          exclude: frozenset = frozenset()) -> list[tuple]:
+        """Expected (end, nodes) of every running job, soonest first.
+
+        ``exclude`` drops drained/down nodes from the future-available
+        sets, so shadow computations never promise a reservation on a
+        node that will not return to service.
+        """
         events = []
         for r in running:
             end = r.expected_end if r.expected_end is not None \
                 else now + r.spec.time_limit
-            events.append((end, r.allocated_nodes))
+            nodes = r.allocated_nodes
+            if exclude:
+                nodes = tuple(n for n in nodes if n not in exclude)
+                if not nodes:
+                    continue
+            events.append((end, nodes))
         events.sort(key=lambda e: e[0])
         return events
 

@@ -60,7 +60,10 @@ class ConservativeBackfillPolicy(SchedulingPolicy):
             if len(reservations) >= self.max_reservations:
                 continue
             if events is None:
-                events = self.completion_events(now, state.running_jobs())
+                # Drained/down nodes never come back on their own, so
+                # they must not underwrite a start-time promise.
+                events = self.completion_events(now, state.running_jobs(),
+                                                exclude=state.unavailable)
             # Nodes promised to earlier reservations are consumed the
             # moment their running job releases them, so (a) drop them
             # from this shadow's starting set and completion events,

@@ -62,10 +62,12 @@ class EasyBackfillPolicy(SchedulingPolicy):
                     free.discard_many(nodes)
                     decisions.append(ScheduleDecision(job, tuple(nodes)))
                 else:
-                    # Head job blocked: compute its reservation.
+                    # Head job blocked: compute its reservation
+                    # (drained/down nodes never become available).
                     if completions is None:
                         completions = self.completion_events(
-                            now, state.running_jobs())
+                            now, state.running_jobs(),
+                            exclude=state.unavailable)
                     reserved_until, reserved_nodes = self.shadow(
                         job, now, free.sorted(), completions)
                     reserved_until = self.reservation_start(

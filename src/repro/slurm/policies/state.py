@@ -63,6 +63,9 @@ class SchedulerState:
         #: memoized stage-in E.T.A.s (bytes are fixed once runnable).
         self._etas: Dict[int, float] = {}
         self._stage_in_estimator = stage_in_estimator
+        #: nodes withdrawn from scheduling (drained or down); a node in
+        #: here is never in :attr:`free` and is withheld at release.
+        self._unavailable: set[str] = set()
         self._dirty = True
 
     # ------------------------------------------------------------------
@@ -114,12 +117,44 @@ class SchedulerState:
         self._dirty = True
 
     def release(self, job: Job) -> None:
-        """Return a finished job's nodes and forget its bookkeeping."""
+        """Return a finished job's nodes and forget its bookkeeping.
+
+        Nodes meanwhile marked unavailable (drained/down) are withheld;
+        :meth:`set_available` hands them back when they recover.
+        """
         self._running.pop(job.job_id, None)
-        self.free.update(job.allocated_nodes)
+        if self._unavailable:
+            self.free.update(n for n in job.allocated_nodes
+                             if n not in self._unavailable)
+        else:
+            self.free.update(job.allocated_nodes)
         self._hinted.discard(job.job_id)
         self._etas.pop(job.job_id, None)
         self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Node availability (drain / failure, slurmctld only)
+    # ------------------------------------------------------------------
+    def set_unavailable(self, node: str) -> None:
+        """Withdraw a node from scheduling (drain or failure)."""
+        self._unavailable.add(node)
+        self.free.discard(node)
+        self._dirty = True
+
+    def set_available(self, node: str, free: bool = True) -> None:
+        """Return a recovered node; ``free=False`` when a job still
+        occupies it (its release will free it normally)."""
+        self._unavailable.discard(node)
+        if free:
+            self.free.add(node)
+        self._dirty = True
+
+    @property
+    def unavailable(self) -> frozenset[str]:
+        """Nodes currently withdrawn from scheduling (ordered views of
+        the free set already exclude them; policies use this to keep
+        reservations off drained/down nodes too)."""
+        return frozenset(self._unavailable)
 
     def mark_dirty(self) -> None:
         self._dirty = True

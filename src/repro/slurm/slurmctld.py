@@ -67,12 +67,36 @@ class SlurmConfig:
     policy: str = ""
     #: Keyword options forwarded to the policy constructor.
     policy_options: Optional[Dict[str, object]] = None
+    #: How many times a job knocked out by a node failure is put back
+    #: in the pending queue before it is failed for good.
+    max_requeues: int = 3
+    #: Also requeue (instead of FAIL) on staging/step failures — the
+    #: fault-injection subsystem turns this on so transient faults
+    #: (daemon restarts, corrupted transfers) heal instead of killing
+    #: workflows.  Off by default: the paper's Section III semantics
+    #: terminate a job whose stage-in fails.
+    requeue_on_failure: bool = False
 
     def resolved_policy(self) -> str:
         """The effective policy name."""
         if self.policy:
             return self.policy
         return "backfill" if self.backfill else "fifo"
+
+
+class _Knockout:
+    """Interrupt payload: a job lost its footing (node failure or an
+    operator requeue) and its jobctl process must unwind and requeue."""
+
+    __slots__ = ("reason", "force")
+
+    def __init__(self, reason: str, force: bool = False) -> None:
+        self.reason = reason
+        #: operator requeue: bypass the requeue budget.
+        self.force = force
+
+    def __str__(self) -> str:
+        return self.reason
 
 
 class Slurmctld:
@@ -99,6 +123,9 @@ class Slurmctld:
                                     **(self.config.policy_options or {}))
         self.accounting = AccountingLog()
         self._jobs: Dict[int, Job] = {}
+        #: node -> reason for every drained / down node.
+        self._drained: Dict[str, str] = {}
+        self._down: Dict[str, str] = {}
         self._events: Store = Store(sim, name="slurmctld:events")
         sim.process(self._main_loop(), name="slurmctld")
 
@@ -179,6 +206,113 @@ class Slurmctld:
         return all_of(self.sim, gates)
 
     # ------------------------------------------------------------------
+    # Node availability (drain / failure / recovery)
+    # ------------------------------------------------------------------
+    def _check_node(self, node: str) -> None:
+        if node not in self.slurmds:
+            raise SlurmError(f"unknown node {node!r}")
+
+    def _node_busy(self, node: str) -> bool:
+        return any(node in j.allocated_nodes
+                   for j in self.state.running_jobs())
+
+    def drain_node(self, node: str, reason: str = "drained") -> None:
+        """Withdraw a node from scheduling; running work finishes.
+
+        Drained nodes take no new allocations and are excluded from
+        backfill/conservative reservations; :meth:`resume_node` returns
+        them to service.
+        """
+        self._check_node(node)
+        if node in self._drained:
+            return
+        self._drained[node] = reason
+        if node not in self._down:
+            self.state.set_unavailable(node)
+            self._kick()
+
+    def resume_node(self, node: str) -> None:
+        """Operator resume: clear drain *and* down; rejoin scheduling."""
+        self._check_node(node)
+        if node not in self._drained and node not in self._down:
+            return
+        self._drained.pop(node, None)
+        self._down.pop(node, None)
+        self.state.set_available(node, free=not self._node_busy(node))
+        self._kick()
+
+    def undrain_node(self, node: str) -> None:
+        """Clear only the drain mark; a node that is *down* stays down
+        until :meth:`restore_node` (a drain window expiring must not
+        resurrect a node that crashed inside it)."""
+        self._check_node(node)
+        if node not in self._drained:
+            return
+        del self._drained[node]
+        if node not in self._down:
+            self.state.set_available(node, free=not self._node_busy(node))
+            self._kick()
+
+    def fail_node(self, node: str, reason: str = "node failure") -> None:
+        """Mark a node down and knock out every job running on it.
+
+        Each victim unwinds (steps interrupted, staged data cleaned,
+        nodes released) and is **requeued** — back to PENDING with its
+        original submit-time priority — until its requeue budget
+        (:attr:`SlurmConfig.max_requeues` or the job's own
+        ``max_requeues``) is spent, after which it fails for good.
+        """
+        self._check_node(node)
+        first = node not in self._down
+        self._down[node] = reason
+        if first and node not in self._drained:
+            self.state.set_unavailable(node)
+        victims = [j for j in self.state.running_jobs()
+                   if node in j.allocated_nodes and not j._knocked]
+        for job in victims:
+            self._knock(job, _Knockout(f"node {node} failed: {reason}"))
+        self._kick()
+
+    def restore_node(self, node: str) -> None:
+        """Bring a failed node back into service (reboot complete)."""
+        self._check_node(node)
+        if node not in self._down:
+            return
+        del self._down[node]
+        if node not in self._drained:
+            self.state.set_available(node, free=not self._node_busy(node))
+            self._kick()
+
+    def requeue(self, job_id: int, reason: str = "requeued") -> None:
+        """Operator requeue (``scontrol requeue``): an active job
+        unwinds and goes back to the pending queue (budget bypassed);
+        a pending/terminal job is left untouched."""
+        job = self.job(job_id)
+        if not job.state.is_active or job._knocked:
+            return
+        self._knock(job, _Knockout(reason, force=True))
+        self._kick()
+
+    def _knock(self, job: Job, cause: _Knockout) -> None:
+        job._knocked = True
+        proc = job._ctl_proc
+        if proc is not None and proc.is_alive:
+            proc.interrupt(cause)
+
+    def node_state(self, node: str) -> str:
+        """"idle" / "alloc" / "drain" / "down" (sinfo vocabulary)."""
+        self._check_node(node)
+        if node in self._down:
+            return "down"
+        if node in self._drained:
+            return "drain"
+        return "alloc" if self._node_busy(node) else "idle"
+
+    def node_states(self) -> list[tuple[str, str]]:
+        """(node, state) for every node, name order."""
+        return [(n, self.node_state(n)) for n in sorted(self.slurmds)]
+
+    # ------------------------------------------------------------------
     # Scheduling loop
     # ------------------------------------------------------------------
     def _kick(self) -> None:
@@ -200,8 +334,8 @@ class Slurmctld:
         for d in decisions:
             self.state.allocate(d.job, d.nodes)
             d.job.allocated_nodes = d.nodes
-            self.sim.process(self._run_job(d.job),
-                             name=f"jobctl:{d.job.job_id}")
+            d.job._ctl_proc = self.sim.process(
+                self._run_job(d.job), name=f"jobctl:{d.job.job_id}")
         if decisions:
             # The pass is synchronous, so the only dirt accumulated
             # since consume_dirty() is our own allocations — clear it
@@ -230,6 +364,90 @@ class Slurmctld:
     # Per-job lifecycle
     # ------------------------------------------------------------------
     def _run_job(self, job: Job):
+        """jobctl: the lifecycle, plus the knockout/requeue unwinding.
+
+        A :class:`_Knockout` interrupt (node failure, operator requeue)
+        may arrive at any yield point of the lifecycle; the handler
+        stops whatever phase was in flight, releases the allocation and
+        either requeues the job or fails it once its budget is spent.
+        """
+        try:
+            yield from self._job_lifecycle(job)
+        except Interrupted as intr:
+            cause = intr.cause
+            if not isinstance(cause, _Knockout):
+                raise
+            try:
+                yield from self._knockout_recover(job, cause)
+            finally:
+                job._knocked = False
+
+    def _requeue_budget(self, job: Job) -> int:
+        if job.spec.max_requeues is not None:
+            return job.spec.max_requeues
+        return self.config.max_requeues
+
+    def _may_requeue_on_failure(self, job: Job) -> bool:
+        """Transient staging/step failures requeue only when the
+        resilience mode is on (fault injection enables it)."""
+        return self.config.requeue_on_failure \
+            and job.requeues < self._requeue_budget(job)
+
+    def _knockout_recover(self, job: Job, cause: _Knockout):
+        """Unwind a knocked-out job: stop its phases, free its nodes,
+        and requeue it (or fail it when the budget is spent)."""
+        rec = self.accounting.record_for(job.job_id)
+        for proc in job._step_procs:
+            if proc.is_alive:
+                proc.interrupt(cause.reason)
+        job._step_procs = []
+        phase = job._phase_proc
+        if phase is not None and phase.is_alive:
+            phase.interrupt(cause.reason)
+        job._phase_proc = None
+        if cause.force or job.requeues < self._requeue_budget(job):
+            yield from self._requeue(job, cause.reason)
+        else:
+            rec.fault_failed = True
+            rec.warnings.append(
+                f"requeue budget spent ({job.requeues}): {cause.reason}")
+            yield from self._terminate(job, JobState.FAILED, cause.reason)
+
+    def _requeue(self, job: Job, reason: str):
+        """Put an unwound job back in the pending queue.
+
+        The job keeps its original submit time, so priority aging
+        carries over — a requeued job does not go to the back of the
+        line (matching Slurm's requeue semantics)."""
+        # The unwind yields (cleanup, release RPCs): a node failure
+        # arriving mid-flight must not start a second one on top.
+        job._knocked = True
+        rec = self.accounting.record_for(job.job_id)
+        job.requeues += 1
+        rec.requeues += 1
+        rec.warnings.append(f"requeue #{job.requeues}: {reason}")
+        if self.config.staging_enabled and (job.spec.stage_in
+                                            or job.spec.stage_out):
+            # Partially staged data is re-staged on the next attempt.
+            yield from self.staging.cleanup_job_data(job)
+        yield from self._release(job)
+        if job.state.is_terminal:
+            # cancelled while unwinding: the terminal state wins.
+            self._finish_accounting(job)
+            job._knocked = False
+            self._kick()
+            return
+        job.allocated_nodes = ()
+        job.start_time = None
+        rec.nodes = ()
+        rec.alloc_time = None
+        rec.start_time = None
+        job.set_state(JobState.PENDING, reason)
+        self.state.enqueue(job)
+        job._knocked = False
+        self._kick()
+
+    def _job_lifecycle(self, job: Job):
         rec = self.accounting.record_for(job.job_id)
         rec.nodes = job.allocated_nodes
         rec.alloc_time = self.sim.now
@@ -244,13 +462,20 @@ class Slurmctld:
         # Stage-in (Section III): wait for data, or terminate + clean up.
         if self.config.staging_enabled and job.spec.stage_in:
             try:
-                report = yield self.sim.process(
+                job._phase_proc = self.sim.process(
                     self.staging.stage_in(job))
+                report = yield job._phase_proc
+                job._phase_proc = None
                 rec.stage_in_seconds = report.elapsed
                 rec.stage_in_eta_seconds = report.predicted_seconds
                 rec.bytes_staged_in = report.bytes
             except StagingFailure as exc:
+                job._phase_proc = None
                 rec.warnings.append(f"stage_in failed: {exc}")
+                if self._may_requeue_on_failure(job):
+                    yield from self._requeue(
+                        job, f"stage-in failed: {exc}")
+                    return
                 yield from self._terminate(job, JobState.FAILED,
                                            f"stage-in failed: {exc}")
                 return
@@ -273,8 +498,17 @@ class Slurmctld:
         limit = self.sim.timeout(job.spec.time_limit)
         try:
             fired = yield any_of(self.sim, [gate, limit])
+        except Interrupted:
+            raise                  # knockout: unwound by _run_job
         except Exception as exc:   # a step failed
             rec.warnings.append(f"step failure: {exc}")
+            if self._may_requeue_on_failure(job):
+                for proc in job._step_procs:
+                    if proc.is_alive:
+                        proc.interrupt("requeue after step failure")
+                job._step_procs = []
+                yield from self._requeue(job, f"step failure: {exc}")
+                return
             yield from self._terminate(job, JobState.FAILED, str(exc))
             return
         if gate not in fired:
@@ -290,7 +524,9 @@ class Slurmctld:
         stage_out_failed = False
         if self.config.staging_enabled and job.spec.stage_out:
             job.set_state(JobState.STAGING_OUT)
-            report = yield self.sim.process(self.staging.stage_out(job))
+            job._phase_proc = self.sim.process(self.staging.stage_out(job))
+            report = yield job._phase_proc
+            job._phase_proc = None
             rec.stage_out_seconds = report.elapsed
             rec.stage_out_eta_seconds = report.predicted_seconds
             rec.bytes_staged_out = report.bytes

@@ -88,31 +88,46 @@ class Slurmd:
     def _step(self, job: Job, rank: int):
         from repro.errors import Interrupted, NornsError
         pid = next(_pids)
-        ctl = self.ctl()
-        yield from ctl.add_process(job.job_id, pid, uid=1000, gid=100)
-        ctl.close()
-        norns_client = self.user_client(pid)
-        ctx = StepContext(self.sim, job, self.node, rank,
-                          self.resolve_backend, norns_client,
-                          membus=self.membus)
         result = None
         failure = None
+        norns_client = None
+        ctl = None
         try:
-            if job.spec.program is not None:
-                result = yield self.sim.process(
-                    job.spec.program(ctx),
-                    name=f"prog:{job.job_id}:{self.node}")
+            ctl = self.ctl()
+            yield from ctl.add_process(job.job_id, pid, uid=1000, gid=100)
+            ctl.close()
+            ctl = None
+            norns_client = self.user_client(pid)
+            ctx = StepContext(self.sim, job, self.node, rank,
+                              self.resolve_backend, norns_client,
+                              membus=self.membus)
+            try:
+                if job.spec.program is not None:
+                    result = yield self.sim.process(
+                        job.spec.program(ctx),
+                        name=f"prog:{job.job_id}:{self.node}")
+            except Interrupted:
+                failure = None  # preempted by slurmctld (timeout/cancel)
+            except Exception as exc:
+                failure = exc
+            norns_client.close()
+            ctl = self.ctl()
+            try:
+                yield from ctl.remove_process(job.job_id, pid)
+            except NornsError:
+                pass  # job already unregistered
+            ctl.close()
+            ctl = None
         except Interrupted:
-            failure = None  # preempted by slurmctld (timeout/cancel)
-        except Exception as exc:
-            failure = exc
-        norns_client.close()
-        ctl2 = self.ctl()
-        try:
-            yield from ctl2.remove_process(job.job_id, pid)
-        except NornsError:
-            pass  # job already unregistered
-        ctl2.close()
+            # Killed outside the program phase (a node failure or an
+            # operator requeue racing a cancel): abandon the cleanup
+            # RPCs — unregister_job sweeps the process registration —
+            # but close whatever channels this step still holds.
+            if ctl is not None:
+                ctl.close()
+            if norns_client is not None:
+                norns_client.close()
+            return result
         if failure is not None:
             raise failure
         return result

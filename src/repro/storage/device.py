@@ -12,6 +12,7 @@ own devices.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import NoSpace, SimError
 from repro.sim.core import Event, Simulator
@@ -87,6 +88,16 @@ class BlockDevice:
         if nbytes < 0:
             raise SimError(f"negative release {nbytes}")
         self.used = max(0.0, self.used - nbytes)
+
+    # -- fault hooks -------------------------------------------------------
+    def set_bandwidth(self, read: Optional[float] = None,
+                      write: Optional[float] = None) -> None:
+        """Re-rate the device's I/O paths (fault injection: a device
+        brownout or its recovery); active flows are reallocated."""
+        if read is not None:
+            self.flows.set_capacity(self.read_path, read)
+        if write is not None:
+            self.flows.set_capacity(self.write_path, write)
 
     # -- timed I/O ---------------------------------------------------------
     def read(self, size: float, extra_constraints=(), rate_cap=None,

@@ -50,6 +50,7 @@ _KEYS = (
     ("stage_out_bytes", "stage_out_bytes"),
     ("stage_out_files", "stage_out_files"),
     ("persist", "persist"),
+    ("max_requeues", "max_requeues"),
 )
 
 _DEFAULTS = {f.name: f.default for f in dataclasses.fields(TraceJob)}
@@ -57,7 +58,7 @@ _INT_ATTRS = frozenset({
     "job_id", "procs", "requested_procs", "status", "user", "group",
     "executable", "queue", "partition", "dep",
     "stage_in_bytes", "stage_in_files", "stage_out_bytes",
-    "stage_out_files",
+    "stage_out_files", "max_requeues",
 })
 _BOOL_ATTRS = frozenset({"workflow_start", "persist"})
 _REQUIRED = ("id", "submit")
@@ -81,11 +82,20 @@ def _record(job: TraceJob) -> Dict:
 
 
 def format_jsonl(trace: Trace) -> str:
-    """Render a trace as canonical JSON lines (ends with a newline)."""
+    """Render a trace as canonical JSON lines (ends with a newline).
+
+    Embedded fault records (``{"fault": {...}}`` lines, times relative
+    to the replay start) come right after the metadata so a resilience
+    scenario reads header → failure schedule → workload.
+    """
+    from repro.faults.plan import fault_record_to_dict
     meta: Dict = {"name": trace.name, "version": 1}
     if trace.comments:
         meta["comments"] = list(trace.comments)
     lines = [json.dumps({"meta": meta}, separators=(", ", ": "))]
+    for rec in trace.faults:
+        lines.append(json.dumps({"fault": fault_record_to_dict(rec)},
+                                separators=(", ", ": ")))
     for job in trace.sorted_jobs():
         lines.append(json.dumps(_record(job), separators=(", ", ": ")))
     return "\n".join(lines) + "\n"
@@ -93,9 +103,12 @@ def format_jsonl(trace: Trace) -> str:
 
 def parse_jsonl(text: str, name: str = "jsonl") -> Trace:
     """Parse JSONL text into a :class:`Trace`."""
+    from repro.errors import FaultError
+    from repro.faults.plan import parse_fault_record
     attr_by_key = dict(_KEYS)
     comments: List[str] = []
     jobs: List[TraceJob] = []
+    faults: List = []
     for lineno, raw in enumerate(text.splitlines(), 1):
         line = raw.strip()
         if not line:
@@ -110,6 +123,13 @@ def parse_jsonl(text: str, name: str = "jsonl") -> Trace:
             meta = obj["meta"]
             name = meta.get("name", name)
             comments.extend(meta.get("comments", ()))
+            continue
+        if "fault" in obj:
+            try:
+                faults.append(parse_fault_record(
+                    obj["fault"], where=f"line {lineno}"))
+            except FaultError as exc:
+                raise TraceError(str(exc)) from None
             continue
         for req in _REQUIRED:
             if req not in obj:
@@ -126,7 +146,8 @@ def parse_jsonl(text: str, name: str = "jsonl") -> Trace:
                     f"line {lineno}: bad value {value!r} for {key!r}"
                 ) from None
         jobs.append(TraceJob(**fields))
-    return Trace(name=name, jobs=tuple(jobs), comments=tuple(comments))
+    return Trace(name=name, jobs=tuple(jobs), comments=tuple(comments),
+                 faults=tuple(faults))
 
 
 def load_jsonl(path: str, name: str = "") -> Trace:

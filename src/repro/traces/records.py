@@ -73,6 +73,9 @@ class TraceJob:
     stage_out_files: int = 0
     #: keep the job's node-local output persisted (``#NORNS persist``).
     persist: bool = False
+    #: per-job requeue budget after node failures (-1 = the cluster's
+    #: :attr:`~repro.slurm.slurmctld.SlurmConfig.max_requeues` default).
+    max_requeues: int = -1
 
     # -- derived views ---------------------------------------------------
     @property
@@ -109,16 +112,26 @@ class TraceJob:
     def has_extensions(self) -> bool:
         """Does this record carry data a pure SWF line cannot hold?"""
         return (self.workflow_start or self.persist or self.is_staged
-                or self.stage_in_files > 0 or self.stage_out_files > 0)
+                or self.stage_in_files > 0 or self.stage_out_files > 0
+                or self.max_requeues >= 0)
 
 
 @dataclass(frozen=True)
 class Trace:
-    """An ordered workload trace plus its header commentary."""
+    """An ordered workload trace plus its header commentary.
+
+    ``faults`` carries an embedded fault schedule
+    (:class:`~repro.faults.plan.FaultRecord`, times relative to the
+    replay start): a trace file can name not just the workload but the
+    failures it was studied under, so a resilience scenario is one
+    self-contained artifact.  Pure SWF cannot carry them; the JSONL
+    format round-trips them losslessly.
+    """
 
     name: str = "trace"
     jobs: Tuple[TraceJob, ...] = ()
     comments: Tuple[str, ...] = ()
+    faults: Tuple = ()                    # FaultRecord entries
 
     @property
     def n_jobs(self) -> int:

@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulationEnded
 from repro.slurm.job import Job, JobSpec, StageDirective, PersistDirective
 from repro.traces.records import Trace, TraceJob
 from repro.util.stats import Summary, summarize
@@ -65,6 +65,12 @@ class ReplayConfig:
     #: legacy report layout.  When set, the report head grows a POLICY
     #: column so per-policy A/B runs label themselves.
     scheduler: str = ""
+    #: fault plan (:class:`~repro.faults.FaultPlan`) injected during the
+    #: replay, times anchored at the driver start.  ``None`` = no
+    #: injector at all; a zero-fault plan arms the injector but changes
+    #: nothing (the report stays byte-identical).  Fault records
+    #: embedded in the trace itself are merged in either way.
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.time_compression <= 0:
@@ -79,6 +85,12 @@ class ReplayConfig:
                 raise ReproError(
                     f"unknown scheduler {self.scheduler!r} "
                     f"(registered: {', '.join(sorted(names))})")
+        if self.fault_plan is not None:
+            from repro.faults import FaultPlan
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise ReproError(
+                    f"fault_plan must be a FaultPlan, "
+                    f"got {type(self.fault_plan).__name__}")
 
 
 @dataclass
@@ -112,6 +124,10 @@ class ReplayReport:
     batch_window: float
     #: scheduling-policy label; "" = cluster default (legacy layout).
     policy: str = ""
+    #: resilience outcome (:class:`~repro.faults.ResilienceStats`) —
+    #: present only when the replay injected at least one fault, so
+    #: zero-fault reports stay byte-identical to the golden layout.
+    resilience: Optional[object] = None
     metrics: List[JobMetric] = field(default_factory=list)
     state_counts: Dict[str, int] = field(default_factory=dict)
     makespan: float = 0.0
@@ -208,7 +224,12 @@ class ReplayReport:
               format_bytes(self.bytes_staged), self.staged_jobs,
               f"{self.nvm_capacity_turnover:.4f}")],
             title="cluster totals")
-        return "\n\n".join((head, states, dist, totals)) + "\n"
+        parts = [head, states, dist, totals]
+        if self.resilience is not None:
+            parts.append(render_table(("metric", "value"),
+                                      self.resilience.rows(),
+                                      title="resilience"))
+        return "\n\n".join(parts) + "\n"
 
     def __str__(self) -> str:
         return self.to_text()
@@ -234,12 +255,27 @@ class TraceReplayer:
         self._start = self.sim.now
         if self.config.scheduler:
             self.ctld.set_policy(self.config.scheduler)
+        self._fault_plan = self._merged_fault_plan()
+        self._injector = None
         n = len(handle.ctld.slurmds)
         self.report = ReplayReport(
             trace_name=self.trace.name, n_jobs=self.trace.n_jobs,
             n_nodes=n, time_compression=self.config.time_compression,
             batch_window=self.config.batch_window,
             policy=self.config.scheduler)
+
+    def _merged_fault_plan(self):
+        """The explicit plan plus any fault records the trace carries."""
+        import dataclasses as _dc
+        plan = self.config.fault_plan
+        if not self.trace.faults:
+            return plan
+        from repro.faults import FaultPlan
+        if plan is None:
+            return FaultPlan(name=f"{self.trace.name}:faults",
+                             records=self.trace.faults)
+        return _dc.replace(plan,
+                           records=plan.records + self.trace.faults)
 
     # -- public ----------------------------------------------------------
     def run(self) -> ReplayReport:
@@ -258,11 +294,33 @@ class TraceReplayer:
                 self.sim.run(self.sim.process(self._seed(seeds),
                                               name="replay:seed"))
         start = self._start = self.sim.now
+        if self._fault_plan is not None:
+            from repro.faults import FaultInjector
+            self._injector = FaultInjector(self.handle, self._fault_plan)
+            if self._fault_plan.n_faults:
+                # Transient faults (daemon restarts, corrupted
+                # transfers) requeue jobs instead of failing workflows.
+                self.ctld.config.requeue_on_failure = True
+            self._injector.start(at=start)
         driver = self.sim.process(self._drive(ordered, start),
                                   name="replay:driver")
         self.sim.run(driver)
-        self.sim.run(self.ctld.drain())
+        try:
+            self.sim.run(self.ctld.drain())
+        except SimulationEnded:
+            # A permanent fault stranded pending work (e.g. a crashed
+            # node that never reboots under-sizes the partition for a
+            # wide job): report what did run.
+            for tid in sorted(self._jobs_by_tid):
+                if not self._jobs_by_tid[tid].state.is_terminal:
+                    self.report.state_counts["stranded"] = \
+                        self.report.state_counts.get("stranded", 0) + 1
         self._finalize(start)
+        if self._injector is not None and self._fault_plan.n_faults:
+            self._injector.stop()
+            self.report.resilience = self._injector.finalize(
+                completed_jobs=self.report.completed,
+                total_jobs=self.trace.n_jobs)
         return self.report
 
     # -- phases ----------------------------------------------------------
@@ -369,7 +427,9 @@ class TraceReplayer:
                 self._jobs_by_tid[tj.dep].job_id
                 if tj.dependency is not None else None),
             workflow_end=False,
-            stage_in=stage_in, stage_out=stage_out, persist=persist)
+            stage_in=stage_in, stage_out=stage_out, persist=persist,
+            max_requeues=(tj.max_requeues if tj.max_requeues >= 0
+                          else None))
 
     # -- metric streaming ------------------------------------------------
     def _collect(self, tj: TraceJob, job: Job) -> None:

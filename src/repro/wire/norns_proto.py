@@ -271,6 +271,10 @@ class DaemonStatusResponse(Message):
         Field(5, "registered_jobs", uint64()),
         Field(6, "registered_dataspaces", uint64()),
         Field(7, "accepting", bool_(), default=True),
+        # Failed tasks get their own counter (they used to be folded
+        # into completed_tasks); old decoders simply ignore the field.
+        Field(8, "failed_tasks", uint64()),
+        Field(9, "retried_tasks", uint64()),
     )
 
 

@@ -1,0 +1,410 @@
+"""End-to-end fault injection through the engine on built clusters."""
+
+import pytest
+
+from repro.cluster import build, small_test
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultPlan, FaultRecord, fault_profile
+from repro.norns.resources import posix_path
+from repro.norns.task import TaskStatus, TaskType
+from repro.slurm import SlurmConfig
+from repro.slurm.job import JobSpec
+from repro.util import GB
+
+
+def compute(seconds):
+    def program(ctx):
+        yield ctx.compute(seconds)
+    return program
+
+
+def plan_of(*records, name="test"):
+    return FaultPlan(name=name, records=tuple(records))
+
+
+def start_injector(handle, *records):
+    return FaultInjector(handle, plan_of(*records)).start()
+
+
+class TestNodeCrash:
+    def test_crash_requeues_and_job_completes(self):
+        h = build(small_test(4), seed=0)
+        job = h.ctld.submit(JobSpec(name="victim", nodes=2,
+                                    program=compute(300.0),
+                                    time_limit=4000.0))
+        h.sim.run(until=h.sim.now + 5.0)
+        assert job.state.value == "running"
+        crashed = sorted(job.allocated_nodes)[0]
+        inj = start_injector(
+            h, FaultRecord(time=10.0, kind="node_crash", target=crashed,
+                           duration=60.0))
+        h.sim.run(job.done)
+        assert job.state.value == "completed"
+        assert job.requeues == 1
+        rec = h.ctld.accounting.get(job.job_id)
+        assert rec.requeues == 1
+        assert any("requeue #1" in w for w in rec.warnings)
+        # the crashed node left the free set, then rejoined at reboot
+        h.sim.run()
+        assert crashed in h.ctld.free_nodes
+        stats = inj.finalize(completed_jobs=1, total_jobs=1)
+        assert stats.jobs_requeued == 1
+        assert stats.node_downtime == pytest.approx(60.0)
+        assert stats.mttr == pytest.approx(60.0)
+        assert stats.goodput == 1.0
+
+    def test_requeue_budget_exhausted_fails_job(self):
+        h = build(small_test(4),
+                  slurm_config=SlurmConfig(max_requeues=0))
+        job = h.ctld.submit(JobSpec(name="victim", nodes=1,
+                                    program=compute(300.0),
+                                    nodelist=("cn0",)))
+        h.sim.run(until=h.sim.now + 5.0)
+        start_injector(
+            h, FaultRecord(time=10.0, kind="node_crash", target="cn0",
+                           duration=30.0))
+        h.sim.run(job.done)
+        assert job.state.value == "failed"
+        assert "cn0 failed" in job.reason
+        rec = h.ctld.accounting.get(job.job_id)
+        assert rec.requeues == 0
+        assert any("budget spent" in w for w in rec.warnings)
+
+    def test_per_job_budget_overrides_config(self):
+        h = build(small_test(4),
+                  slurm_config=SlurmConfig(max_requeues=0))
+        job = h.ctld.submit(JobSpec(name="tough", nodes=1,
+                                    program=compute(300.0),
+                                    nodelist=("cn0",), max_requeues=2))
+        h.sim.run(until=h.sim.now + 5.0)
+        start_injector(
+            h, FaultRecord(time=10.0, kind="node_crash", target="cn0",
+                           duration=30.0))
+        h.sim.run(job.done)
+        assert job.state.value == "completed"
+        assert job.requeues == 1
+
+    def test_pinned_job_waits_for_reboot(self):
+        # A -w pinned job can only run on the crashed node: it must
+        # wait out the reboot, not land elsewhere.
+        h = build(small_test(4), seed=0)
+        job = h.ctld.submit(JobSpec(name="pinned", nodes=1,
+                                    program=compute(120.0),
+                                    nodelist=("cn1",)))
+        h.sim.run(until=h.sim.now + 5.0)
+        t0 = h.sim.now
+        start_injector(
+            h, FaultRecord(time=10.0, kind="node_crash", target="cn1",
+                           duration=200.0))
+        h.sim.run(job.done)
+        assert job.state.value == "completed"
+        assert job.requeues == 1
+        # restarted only after the 200s reboot
+        assert job.start_time >= t0 + 200.0
+
+
+class TestDrain:
+    def test_drain_window_blocks_allocation_then_recovers(self):
+        h = build(small_test(2), seed=0)
+        inj = start_injector(
+            h, FaultRecord(time=5.0, kind="node_drain", target="cn0",
+                           duration=100.0),
+            FaultRecord(time=6.0, kind="node_drain", target="cn1",
+                        duration=100.0))
+        h.sim.run(until=h.sim.now + 10.0)
+        assert h.ctld.node_state("cn0") == "drain"
+        job = h.ctld.submit(JobSpec(name="waits", nodes=1,
+                                    program=compute(1.0)))
+        h.sim.run(until=h.sim.now + 20.0)
+        assert job.state.value == "pending"   # everything drained
+        h.sim.run(job.done)
+        assert job.state.value == "completed"
+        assert len(inj.stats.recoveries) == 2
+
+    def test_explicit_resume_record(self):
+        h = build(small_test(2), seed=0)
+        start_injector(
+            h, FaultRecord(time=5.0, kind="node_drain", target="cn0"),
+            FaultRecord(time=50.0, kind="node_resume", target="cn0"))
+        h.sim.run(until=h.sim.now + 20.0)
+        assert h.ctld.node_state("cn0") == "drain"
+        h.sim.run(until=h.sim.now + 40.0)
+        assert h.ctld.node_state("cn0") == "idle"
+
+
+class TestUrdRestart:
+    def _submit_copy(self, h, node, size=8 * GB):
+        """Seed a PFS file and submit a node-local copy task."""
+        slurmd = h.nodes[node].slurmd
+        out = {}
+
+        def seed():
+            yield h.pfs.write(None, "/data/big.dat", size, token="seed")
+
+        h.sim.run(h.sim.process(seed(), name="seed"))
+
+        def go():
+            ctl = slurmd.ctl()
+            task = ctl.iotask_init(
+                TaskType.COPY, posix_path("lustre://", "/data/big.dat"),
+                posix_path("nvme0://", "/scratch/big.dat"))
+            yield from ctl.submit(task)
+            out["ctl"] = ctl
+            out["task"] = task
+        h.sim.run(h.sim.process(go(), name="submit"))
+        return out
+
+    def test_restart_loses_in_flight_task_and_unblocks_waiter(self):
+        h = build(small_test(2), seed=0)
+        urd = h.nodes["cn0"].urd
+        out = self._submit_copy(h, "cn0")
+        h.sim.run(until=h.sim.now + 0.5)   # transfer under way
+        assert urd._running, "expected an in-flight task"
+        report = urd.restart()
+        assert report["tasks"] == 1
+        assert report["bytes"] == 8 * GB
+        assert urd.tasks_lost == 1 and urd.bytes_lost == 8 * GB
+
+        def wait():
+            stats = yield from out["ctl"].wait(out["task"])
+            return stats
+        stats = h.sim.run(h.sim.process(wait(), name="wait"))
+        assert stats.status is TaskStatus.ERROR
+
+    def test_restart_invalidates_eta_state(self):
+        h = build(small_test(2), seed=0)
+        urd = h.nodes["cn0"].urd
+        out = self._submit_copy(h, "cn0", size=1 * GB)
+
+        def wait():
+            yield from out["ctl"].wait(out["task"])
+        h.sim.run(h.sim.process(wait(), name="wait"))
+        default = urd.config.eta_default_rate
+        assert urd.tracker.rate(("shared", "local")) != default
+        urd.restart()
+        assert urd.tracker.rate(("shared", "local")) == default
+        assert urd.restarts == 1
+
+    def test_restart_drops_queued_tasks(self):
+        h = build(small_test(2), seed=0)
+        urd = h.nodes["cn0"].urd
+        # saturate the workers with many copies so some stay queued
+        slurmd = h.nodes["cn0"].slurmd
+
+        def seed():
+            for i in range(12):
+                yield h.pfs.write(None, f"/data/f{i}.dat", 4 * GB,
+                                  token=f"s{i}")
+        h.sim.run(h.sim.process(seed(), name="seed"))
+
+        def go():
+            ctl = slurmd.ctl()
+            for i in range(12):
+                task = ctl.iotask_init(
+                    TaskType.COPY,
+                    posix_path("lustre://", f"/data/f{i}.dat"),
+                    posix_path("nvme0://", f"/scratch/f{i}.dat"))
+                yield from ctl.submit(task)
+            ctl.close()
+        h.sim.run(h.sim.process(go(), name="submit"))
+        h.sim.run(until=h.sim.now + 0.2)
+        assert len(urd.queue) > 0
+        queued_before = len(urd.queue)
+        urd.restart()
+        assert len(urd.queue) == 0
+        assert urd.tasks_lost >= queued_before
+
+
+class TestCapacityFaults:
+    def _timed_transfer(self, h, size=64 * GB):
+        ev = h.fabric.transfer("cn0", "cn1", size, label="probe")
+        t0 = h.sim.now
+        h.sim.run(ev)
+        return h.sim.now - t0
+
+    def test_link_degrade_slows_then_recovers(self):
+        h = build(small_test(2), seed=0)
+        clean = self._timed_transfer(h)
+        start_injector(
+            h, FaultRecord(time=0.0, kind="link_degrade", target="cn1",
+                           duration=3600.0, magnitude=0.1))
+        h.sim.run(until=h.sim.now + 1.0)
+        degraded = self._timed_transfer(h)
+        assert degraded == pytest.approx(clean * 10, rel=0.05)
+        h.sim.run()                        # window lifts
+        recovered = self._timed_transfer(h)
+        assert recovered == pytest.approx(clean, rel=1e-6)
+
+    def test_partition_stalls_transfers_until_heal(self):
+        h = build(small_test(2), seed=0)
+        ingress = h.fabric.port("cn1").ingress
+        baseline = ingress.capacity
+        start_injector(
+            h, FaultRecord(time=1.0, kind="link_partition", target="cn1",
+                           duration=50.0))
+        h.sim.run(until=h.sim.now + 2.0)
+        assert ingress.capacity == 1.0     # PARTITION_FLOOR
+        h.sim.run(until=h.sim.now + 60.0)
+        assert ingress.capacity == baseline
+
+    def test_device_degrade_rerates_both_paths(self):
+        h = build(small_test(2), seed=0)
+        device = h.nodes["cn0"].mounts["nvme0"].device
+        r0, w0 = device.read_path.capacity, device.write_path.capacity
+        start_injector(
+            h, FaultRecord(time=1.0, kind="device_degrade", target="cn0",
+                           duration=30.0, magnitude=0.25,
+                           device="nvme0"))
+        h.sim.run(until=h.sim.now + 2.0)
+        assert device.read_path.capacity == pytest.approx(r0 * 0.25)
+        assert device.write_path.capacity == pytest.approx(w0 * 0.25)
+        h.sim.run(until=h.sim.now + 60.0)
+        assert device.read_path.capacity == r0
+        assert device.write_path.capacity == w0
+
+    def test_unknown_device_rejected_at_construction(self):
+        h = build(small_test(2), seed=0)
+        with pytest.raises(FaultError, match="no device"):
+            FaultInjector(h, plan_of(
+                FaultRecord(time=0, kind="device_degrade", target="cn0",
+                            duration=1.0, magnitude=0.5,
+                            device="optane9")))
+
+
+class TestCorruption:
+    def test_corrupted_transfer_retries_and_finishes(self):
+        h = build(small_test(2), seed=0)
+        urd = h.nodes["cn0"].urd
+        urd.inject_corruption(1)
+        helper = TestUrdRestart()
+        out = helper._submit_copy(h, "cn0", size=1 * GB)
+
+        def wait():
+            return (yield from out["ctl"].wait(out["task"]))
+        stats = h.sim.run(h.sim.process(wait(), name="wait"))
+        assert stats.status is TaskStatus.FINISHED
+        assert urd.tasks_retried == 1
+        assert urd.bytes_corrupted == 1 * GB
+        assert urd._corrupt_next == 0
+
+    def test_retry_budget_exhaustion_fails_task(self):
+        h = build(small_test(2), seed=0)
+        urd = h.nodes["cn0"].urd
+        urd.config.task_retries = 0
+        urd.inject_corruption(1)
+        helper = TestUrdRestart()
+        out = helper._submit_copy(h, "cn0", size=1 * GB)
+
+        def wait():
+            return (yield from out["ctl"].wait(out["task"]))
+        stats = h.sim.run(h.sim.process(wait(), name="wait"))
+        assert stats.status is TaskStatus.ERROR
+        assert urd.tasks_failed == 1 and urd.tasks_retried == 0
+
+
+class TestInjectorLifecycle:
+    def test_zero_fault_plan_schedules_nothing(self):
+        h = build(small_test(2), seed=0)
+        before = len(h.sim._heap)
+        inj = FaultInjector(h, FaultPlan(name="none")).start()
+        assert len(h.sim._heap) == before
+        assert inj.stats.faults_injected == 0
+
+    def test_stop_cancels_pending_faults(self):
+        h = build(small_test(2), seed=0)
+        inj = start_injector(
+            h, FaultRecord(time=50.0, kind="node_crash", target="cn0",
+                           duration=10.0))
+        inj.stop()
+        h.sim.run(until=h.sim.now + 100.0)
+        assert inj.stats.faults_injected == 0
+        assert h.ctld.node_state("cn0") == "idle"
+
+    def test_double_start_rejected(self):
+        h = build(small_test(2), seed=0)
+        inj = FaultInjector(h, FaultPlan(name="none")).start()
+        with pytest.raises(FaultError, match="already started"):
+            inj.start()
+
+    def test_unknown_target_rejected(self):
+        h = build(small_test(2), seed=0)
+        with pytest.raises(FaultError, match="unknown target"):
+            FaultInjector(h, plan_of(
+                FaultRecord(time=0, kind="urd_restart", target="cn9")))
+
+    def test_chaos_profile_fully_deterministic(self):
+        def once():
+            h = build(small_test(4), seed=1)
+            plan = fault_profile("chaos", horizon=400,
+                                 nodes=h.node_names, seed=1)
+            jobs = [h.ctld.submit(JobSpec(name=f"j{i}", nodes=1,
+                                          program=compute(60.0)))
+                    for i in range(8)]
+            inj = FaultInjector(h, plan).start()
+            h.sim.run(h.ctld.drain())
+            h.sim.run()
+            stats = inj.finalize(
+                completed_jobs=sum(1 for j in jobs
+                                   if j.state.value == "completed"),
+                total_jobs=len(jobs))
+            return [(k, stats.faults_by_kind[k])
+                    for k in sorted(stats.faults_by_kind)], \
+                [j.state.value for j in jobs], stats.goodput
+
+        assert once() == once()
+
+
+class TestReviewRegressions:
+    def test_drain_recovery_does_not_resurrect_crashed_node(self):
+        # A node crashes inside a drain window: the window expiring
+        # must leave it down until its own reboot.
+        h = build(small_test(2), seed=0)
+        start_injector(
+            h, FaultRecord(time=10.0, kind="node_drain", target="cn0",
+                           duration=100.0),
+            FaultRecord(time=50.0, kind="node_crash", target="cn0",
+                        duration=300.0))
+        h.sim.run(until=h.sim.now + 60.0)
+        assert h.ctld.node_state("cn0") == "down"
+        h.sim.run(until=h.sim.now + 100.0)   # drain window expired
+        assert h.ctld.node_state("cn0") == "down"
+        h.sim.run(until=h.sim.now + 300.0)   # reboot done
+        assert h.ctld.node_state("cn0") == "idle"
+
+    def test_restart_loses_backoff_parked_retry(self):
+        h = build(small_test(2), seed=0)
+        urd = h.nodes["cn0"].urd
+        urd.config.retry_backoff = 5.0   # park the retry for a while
+        urd.inject_corruption(1)
+        helper = TestUrdRestart()
+        out = helper._submit_copy(h, "cn0", size=1 * GB)
+        # run until the corrupted attempt finished and the retry parked
+        h.sim.run(until=h.sim.now + 4.0)
+        assert urd._backoff, "expected a parked retry"
+        urd.restart()
+        assert not urd._backoff
+        assert urd.tasks_lost == 1
+
+        def wait():
+            return (yield from out["ctl"].wait(out["task"]))
+        stats = h.sim.run(h.sim.process(wait(), name="wait"))
+        assert stats.status is TaskStatus.ERROR
+        # the cancelled backoff must not re-queue the dead task
+        h.sim.run(until=h.sim.now + 30.0)
+        assert len(urd.queue) == 0
+
+    def test_jobs_failed_counts_zero_budget_knockouts(self):
+        h = build(small_test(4),
+                  slurm_config=SlurmConfig(max_requeues=0))
+        job = h.ctld.submit(JobSpec(name="victim", nodes=1,
+                                    program=compute(300.0),
+                                    nodelist=("cn0",)))
+        h.sim.run(until=h.sim.now + 5.0)
+        inj = start_injector(
+            h, FaultRecord(time=10.0, kind="node_crash", target="cn0",
+                           duration=30.0))
+        h.sim.run(job.done)
+        assert job.state.value == "failed"
+        stats = inj.finalize(completed_jobs=0, total_jobs=1)
+        assert stats.jobs_failed == 1
+        assert stats.jobs_requeued == 0

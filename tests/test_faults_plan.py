@@ -1,0 +1,218 @@
+"""The fault-plan model, its JSONL format, and the profile generators."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_KINDS, FaultPlan, FaultRecord,
+    available_profiles, dump_plan, fault_profile, format_plan,
+    load_plan, parse_plan,
+)
+
+NODES = [f"cn{i}" for i in range(8)]
+
+
+def sample_plan():
+    return FaultPlan(name="sample", records=(
+        FaultRecord(time=10.0, kind="node_crash", target="cn0",
+                    duration=60.0, note="boom"),
+        FaultRecord(time=5.0, kind="node_drain", target="cn1",
+                    duration=30.0),
+        FaultRecord(time=80.0, kind="link_degrade", target="cn2",
+                    duration=20.0, magnitude=0.1),
+        FaultRecord(time=120.0, kind="device_degrade", target="cn3",
+                    duration=15.0, magnitude=0.5, device="nvme0"),
+        FaultRecord(time=200.0, kind="transfer_corrupt", target="cn0",
+                    magnitude=3.0),
+    ), comments=("hand-written",))
+
+
+class TestRecordValidation:
+    def test_every_kind_is_documented(self):
+        assert len(FAULT_KINDS) == 8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultRecord(time=0, kind="gremlins", target="cn0").validate()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError, match="negative time"):
+            FaultRecord(time=-1, kind="urd_restart",
+                        target="cn0").validate()
+
+    def test_target_required(self):
+        with pytest.raises(FaultError, match="target"):
+            FaultRecord(time=0, kind="node_crash", target="").validate()
+
+    def test_degrade_magnitude_bounds(self):
+        with pytest.raises(FaultError, match="magnitude"):
+            FaultRecord(time=0, kind="link_degrade", target="cn0",
+                        magnitude=1.5).validate()
+        with pytest.raises(FaultError, match="magnitude"):
+            FaultRecord(time=0, kind="device_degrade", target="cn0",
+                        device="nvme0", magnitude=0.0).validate()
+
+    def test_corrupt_needs_count(self):
+        with pytest.raises(FaultError, match="count"):
+            FaultRecord(time=0, kind="transfer_corrupt", target="cn0",
+                        magnitude=0.5).validate()
+
+    def test_device_degrade_needs_device(self):
+        with pytest.raises(FaultError, match="device"):
+            FaultRecord(time=0, kind="device_degrade", target="cn0",
+                        magnitude=0.5).validate()
+
+
+class TestPlanValidation:
+    def test_sample_plan_valid(self):
+        sample_plan().validate(NODES)
+
+    def test_unknown_target_rejected_with_node_list(self):
+        plan = FaultPlan(records=(
+            FaultRecord(time=0, kind="urd_restart", target="ghost"),))
+        plan.validate()  # no node list: targets unchecked
+        with pytest.raises(FaultError, match="unknown target"):
+            plan.validate(NODES)
+
+    def test_overlapping_windows_rejected(self):
+        plan = FaultPlan(records=(
+            FaultRecord(time=0.0, kind="link_degrade", target="cn0",
+                        duration=100.0, magnitude=0.5),
+            FaultRecord(time=50.0, kind="link_degrade", target="cn0",
+                        duration=10.0, magnitude=0.5),
+        ))
+        with pytest.raises(FaultError, match="overlapping"):
+            plan.validate()
+
+    def test_disjoint_windows_ok(self):
+        FaultPlan(records=(
+            FaultRecord(time=0.0, kind="link_degrade", target="cn0",
+                        duration=10.0, magnitude=0.5),
+            FaultRecord(time=50.0, kind="link_degrade", target="cn0",
+                        duration=10.0, magnitude=0.5),
+        )).validate()
+
+    def test_horizon_and_order(self):
+        plan = sample_plan()
+        assert plan.horizon == 200.0
+        assert [r.time for r in plan.sorted_records()] == \
+            [5.0, 10.0, 80.0, 120.0, 200.0]
+
+
+class TestPlanJsonl:
+    def test_round_trip_lossless(self):
+        import dataclasses
+        plan = sample_plan()
+        canonical = dataclasses.replace(
+            plan, records=tuple(plan.sorted_records()))
+        back = parse_plan(format_plan(canonical))
+        assert back == canonical
+
+    def test_file_round_trip(self, tmp_path):
+        import dataclasses
+        plan = sample_plan()
+        plan = dataclasses.replace(plan,
+                                   records=tuple(plan.sorted_records()))
+        path = str(tmp_path / "plan.jsonl")
+        dump_plan(plan, path)
+        assert load_plan(path, name=plan.name) == plan
+
+    def test_unknown_keys_ignored(self):
+        plan = parse_plan('{"t": 1, "kind": "urd_restart", '
+                          '"node": "cn0", "severity": "high"}\n')
+        assert plan.n_faults == 1
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(FaultError, match="lacks"):
+            parse_plan('{"kind": "urd_restart", "node": "cn0"}\n')
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultError, match="bad JSON"):
+            parse_plan('{"t": }\n')
+
+    def test_defaults_stay_off_the_wire(self):
+        text = format_plan(FaultPlan(records=(
+            FaultRecord(time=1.0, kind="urd_restart", target="cn0"),)))
+        line = text.splitlines()[1]
+        assert "duration" not in line and "magnitude" not in line
+
+
+class TestProfiles:
+    def test_registry_lists_all(self):
+        names = [n for n, _ in available_profiles()]
+        assert "none" in names and "chaos" in names
+        assert names == sorted(names)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault profile"):
+            fault_profile("entropy", horizon=100, nodes=NODES)
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(FaultError, match="horizon"):
+            fault_profile("chaos", horizon=0, nodes=NODES)
+        with pytest.raises(FaultError, match="node"):
+            fault_profile("chaos", horizon=100, nodes=[])
+
+    def test_none_profile_is_empty(self):
+        assert fault_profile("none", horizon=100, nodes=NODES).n_faults == 0
+
+    @pytest.mark.parametrize("name",
+                             [n for n, _ in available_profiles()])
+    def test_profiles_deterministic_and_valid(self, name):
+        a = fault_profile(name, horizon=2400, nodes=NODES, seed=5)
+        b = fault_profile(name, horizon=2400, nodes=NODES, seed=5)
+        assert a == b
+        a.validate(NODES)
+        # every generated window recovers inside a bounded horizon
+        for rec in a.records:
+            assert rec.end_time <= 2400 * 1.5
+
+    def test_seed_changes_schedule(self):
+        a = fault_profile("chaos", horizon=2400, nodes=NODES, seed=1)
+        b = fault_profile("chaos", horizon=2400, nodes=NODES, seed=2)
+        assert a != b
+
+    def test_profiles_round_trip_through_jsonl(self):
+        for name, _ in available_profiles():
+            plan = fault_profile(name, horizon=1200, nodes=NODES, seed=9)
+            back = parse_plan(format_plan(plan))
+            assert back.records == tuple(plan.sorted_records())
+
+
+class TestReviewRegressions:
+    def test_cross_kind_link_overlap_rejected(self):
+        # A degrade and a partition re-rate the same NIC constraints:
+        # overlapping them would recover out of order.
+        plan = FaultPlan(records=(
+            FaultRecord(time=100.0, kind="link_degrade", target="cn0",
+                        duration=100.0, magnitude=0.5),
+            FaultRecord(time=150.0, kind="link_partition", target="cn0",
+                        duration=100.0),
+        ))
+        with pytest.raises(FaultError, match="overlapping"):
+            plan.validate()
+
+    def test_touching_windows_rejected(self):
+        # b.time == a.end_time: the second fire races the first
+        # recovery at one instant — rejected.
+        plan = FaultPlan(records=(
+            FaultRecord(time=0.0, kind="device_degrade", target="cn0",
+                        duration=50.0, magnitude=0.5, device="nvme0"),
+            FaultRecord(time=50.0, kind="device_degrade", target="cn0",
+                        duration=10.0, magnitude=0.5, device="nvme0"),
+        ))
+        with pytest.raises(FaultError, match="overlapping"):
+            plan.validate()
+
+    def test_different_devices_may_overlap(self):
+        FaultPlan(records=(
+            FaultRecord(time=0.0, kind="device_degrade", target="cn0",
+                        duration=50.0, magnitude=0.5, device="nvme0"),
+            FaultRecord(time=10.0, kind="device_degrade", target="cn0",
+                        duration=10.0, magnitude=0.5, device="tmp0"),
+        )).validate()
+
+    def test_flaky_network_valid_at_small_horizons(self):
+        for horizon in (60, 100, 150, 250, 500):
+            fault_profile("flaky-network", horizon=horizon,
+                          nodes=NODES, seed=13).validate(NODES)

@@ -1,0 +1,243 @@
+"""slurmctld node drain/down state, requeue semantics and the CLI path."""
+
+import pytest
+
+from repro.errors import SlurmError
+from repro.slurm import JobState, SlurmConfig
+from repro.slurm.cli import sinfo
+from repro.slurm.job import Job, JobSpec
+from repro.slurm.policies import SchedulingPolicy
+
+from tests.conftest import build_slurm_cluster
+
+
+def compute(seconds):
+    def program(ctx):
+        yield ctx.compute(seconds)
+    return program
+
+
+class TestDrainPath:
+    def test_drained_node_takes_no_allocations(self):
+        c, ctld = build_slurm_cluster(2)
+        ctld.drain_node("node1", reason="maintenance")
+        assert ctld.node_state("node1") == "drain"
+        assert "node1" not in ctld.free_nodes
+        a = ctld.submit(JobSpec(name="a", nodes=1, program=compute(5)))
+        b = ctld.submit(JobSpec(name="b", nodes=1, program=compute(5)))
+        c.sim.run(until=c.sim.now + 1.0)
+        # only node0 serves: b queues behind a instead of using node1
+        assert a.state is JobState.RUNNING
+        assert a.allocated_nodes == ("node0",)
+        assert b.state is JobState.PENDING
+        c.sim.run(b.done)
+        assert b.allocated_nodes == ("node0",)
+
+    def test_drain_is_idempotent_and_resumable(self):
+        c, ctld = build_slurm_cluster(2)
+        ctld.drain_node("node0")
+        ctld.drain_node("node0")   # no-op
+        ctld.resume_node("node0")
+        assert ctld.node_state("node0") == "idle"
+        assert "node0" in ctld.free_nodes
+        ctld.resume_node("node0")  # resuming a healthy node: no-op
+
+    def test_drain_does_not_kill_running_work(self):
+        c, ctld = build_slurm_cluster(1)
+        job = ctld.submit(JobSpec(name="keeps-going", nodes=1,
+                                  program=compute(30)))
+        c.sim.run(until=c.sim.now + 1.0)
+        ctld.drain_node("node0")
+        assert job.state is JobState.RUNNING
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        # released node stays out of the free set while drained
+        c.sim.run(until=c.sim.now + 1.0)
+        assert "node0" not in ctld.free_nodes
+        ctld.resume_node("node0")
+        assert "node0" in ctld.free_nodes
+
+    def test_unknown_node_rejected(self):
+        _c, ctld = build_slurm_cluster(1)
+        with pytest.raises(SlurmError, match="unknown node"):
+            ctld.drain_node("node9")
+        with pytest.raises(SlurmError, match="unknown node"):
+            ctld.fail_node("node9")
+
+    def test_sinfo_shows_drain_and_down(self):
+        c, ctld = build_slurm_cluster(3)
+        ctld.drain_node("node1")
+        ctld.fail_node("node2")
+        out = sinfo(ctld)
+        lines = {line.split("|")[0].strip(): line.split("|")[1].strip()
+                 for line in out.splitlines() if "|" in line and
+                 line.strip().startswith("node")}
+        assert lines == {"node0": "idle", "node1": "drain",
+                         "node2": "down"}
+
+    def test_cli_run_accepts_drain_flag(self, tmp_path, capsys):
+        from repro.slurm.cli import main
+        script = tmp_path / "demo.sbatch"
+        script.write_text("#!/bin/bash\n#SBATCH --job-name=demo\n"
+                          "#SBATCH --nodes=1\n#SBATCH --time=600\n")
+        rc = main(["run", str(script), "--preset", "small_test",
+                   "--drain", "cn0,cn1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "drain" in out and "completed" in out
+
+
+class TestFailAndRequeue:
+    def test_fail_node_requeues_running_job(self):
+        c, ctld = build_slurm_cluster(2)
+        job = ctld.submit(JobSpec(name="victim", nodes=1,
+                                  program=compute(100),
+                                  time_limit=2000.0))
+        c.sim.run(until=c.sim.now + 1.0)
+        node = job.allocated_nodes[0]
+        ctld.fail_node(node, reason="kernel panic")
+        assert ctld.node_state(node) == "down"
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        assert job.requeues == 1
+        # completed on the surviving node
+        assert job.allocated_nodes != (node,)
+
+    def test_down_node_needs_restore(self):
+        c, ctld = build_slurm_cluster(1)
+        ctld.fail_node("node0")
+        job = ctld.submit(JobSpec(name="stuck", nodes=1,
+                                  program=compute(1)))
+        c.sim.run(until=c.sim.now + 50.0)
+        assert job.state is JobState.PENDING
+        ctld.restore_node("node0")
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+
+    def test_operator_requeue_bypasses_budget(self):
+        c, ctld = build_slurm_cluster(2,
+                                      config=SlurmConfig(max_requeues=0))
+        job = ctld.submit(JobSpec(name="mv", nodes=1,
+                                  program=compute(60)))
+        c.sim.run(until=c.sim.now + 1.0)
+        ctld.requeue(job.job_id, reason="operator rebalance")
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        assert job.requeues == 1
+        rec = ctld.accounting.get(job.job_id)
+        assert any("operator rebalance" in w for w in rec.warnings)
+
+    def test_requeue_of_pending_job_is_noop(self):
+        c, ctld = build_slurm_cluster(1)
+        a = ctld.submit(JobSpec(name="a", nodes=1, program=compute(10)))
+        b = ctld.submit(JobSpec(name="b", nodes=1, program=compute(10)))
+        c.sim.run(until=c.sim.now + 1.0)
+        assert b.state is JobState.PENDING
+        ctld.requeue(b.job_id)
+        assert b.requeues == 0
+        c.sim.run(b.done)
+        assert b.state is JobState.COMPLETED
+
+    def test_simultaneous_double_failure_requeues_once(self):
+        c, ctld = build_slurm_cluster(3)
+        job = ctld.submit(JobSpec(name="wide", nodes=2,
+                                  program=compute(100),
+                                  time_limit=4000.0))
+        c.sim.run(until=c.sim.now + 1.0)
+        n0, n1 = job.allocated_nodes
+        ctld.fail_node(n0)
+        ctld.fail_node(n1)   # same instant: one knockout, not two
+        c.sim.run(until=c.sim.now + 5.0)
+        assert job.state is JobState.PENDING
+        assert job.requeues == 1
+        ctld.restore_node(n0)
+        ctld.restore_node(n1)
+        c.sim.run(job.done)
+        assert job.state is JobState.COMPLETED
+        assert job.requeues == 1
+
+    def test_requeued_job_keeps_priority_age(self):
+        # A requeued job re-enters with its original submit time, so it
+        # outranks jobs submitted after it.
+        c, ctld = build_slurm_cluster(1)
+        early = ctld.submit(JobSpec(name="early", nodes=1,
+                                    program=compute(50),
+                                    time_limit=2000.0))
+        c.sim.run(until=c.sim.now + 1.0)
+        late = ctld.submit(JobSpec(name="late", nodes=1,
+                                   program=compute(5)))
+        ctld.fail_node("node0")
+        c.sim.run(until=c.sim.now + 5.0)
+        ctld.restore_node("node0")
+        c.sim.run(early.done)
+        c.sim.run(late.done)
+        # early (requeued) ran before late despite both being queued
+        assert early.start_time < late.start_time
+
+    def test_cancel_racing_requeue_stays_cancelled(self):
+        c, ctld = build_slurm_cluster(2)
+        job = ctld.submit(JobSpec(name="victim", nodes=1,
+                                  program=compute(100)))
+        c.sim.run(until=c.sim.now + 1.0)
+        ctld.fail_node(job.allocated_nodes[0])
+        ctld.cancel(job.job_id, reason="user gave up")
+        c.sim.run(job.done)
+        c.sim.run(until=c.sim.now + 5.0)
+        assert job.state is JobState.CANCELLED
+        # and it is not resurrected by a later pass
+        c.sim.run(until=c.sim.now + 50.0)
+        assert job.state is JobState.CANCELLED
+
+
+class TestPolicyExclusion:
+    def _running_job(self, nodes, end_in, now=0.0):
+        spec = JobSpec(name="r", nodes=len(nodes), time_limit=end_in)
+        job = Job(spec, submit_time=now)
+        job.allocated_nodes = tuple(nodes)
+        job.start_time = now
+        return job
+
+    def test_completion_events_exclude_unavailable_nodes(self):
+        running = [self._running_job(("n0", "n1"), 100.0),
+                   self._running_job(("n2",), 50.0)]
+        plain = SchedulingPolicy.completion_events(0.0, running)
+        assert [(t, n) for t, n in plain] == \
+            [(50.0, ("n2",)), (100.0, ("n0", "n1"))]
+        masked = SchedulingPolicy.completion_events(
+            0.0, running, exclude=frozenset({"n1", "n2"}))
+        assert masked == [(100.0, ("n0",))]
+
+    def test_backfill_reservation_skips_drained_node(self):
+        # Head job needs 2 nodes; one of the running job's nodes is
+        # drained, so its completion can only ever yield one node and
+        # the reservation must stretch to the horizon fallback.
+        c, ctld = build_slurm_cluster(2)
+        hog = ctld.submit(JobSpec(name="hog", nodes=2,
+                                  program=compute(100),
+                                  time_limit=200.0))
+        c.sim.run(until=c.sim.now + 1.0)
+        ctld.drain_node("node1")
+        blocked = ctld.submit(JobSpec(name="blocked", nodes=2,
+                                      program=compute(10),
+                                      time_limit=400.0))
+        c.sim.run(hog.done)
+        c.sim.run(until=c.sim.now + 5.0)
+        # with node1 drained the 2-node job cannot start
+        assert blocked.state is JobState.PENDING
+        ctld.resume_node("node1")
+        c.sim.run(blocked.done)
+        assert blocked.state is JobState.COMPLETED
+
+    @pytest.mark.parametrize("policy", ["backfill", "conservative",
+                                        "fifo", "staging-aware"])
+    def test_every_policy_respects_drained_nodes(self, policy):
+        c, ctld = build_slurm_cluster(
+            2, config=SlurmConfig(policy=policy))
+        ctld.drain_node("node0")
+        jobs = [ctld.submit(JobSpec(name=f"j{i}", nodes=1,
+                                    program=compute(5)))
+                for i in range(3)]
+        c.sim.run(ctld.drain())
+        for job in jobs:
+            assert job.state is JobState.COMPLETED
+            assert job.allocated_nodes == ("node1",)

@@ -283,3 +283,91 @@ class TestSimulatorRun:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestCancellableTimeoutChurn:
+    """The fault injectors lean on cancellable timeouts under churn:
+    many armed entries, cancellations racing fires at the same instant,
+    and supersede-style reschedule loops."""
+
+    def test_cancel_then_fire_same_timestamp(self, sim):
+        # Two entries at the same instant; the first one's callback
+        # cancels the second before it pops: it must not fire.
+        fired = []
+        a = sim.cancellable_timeout(5.0, name="a")
+        b = sim.cancellable_timeout(5.0, name="b")
+        a.event.add_callback(lambda e: (fired.append("a"), b.cancel()))
+        b.event.add_callback(lambda e: fired.append("b"))
+        sim.run()
+        assert fired == ["a"]
+        assert not b.active
+
+    def test_fire_then_cancel_same_timestamp(self, sim):
+        # Reverse order: by the time the canceller runs, its target
+        # already fired at the same instant — cancel() reports False
+        # and the callback has run.
+        fired = []
+        b = sim.cancellable_timeout(5.0, name="b")
+        b.event.add_callback(lambda e: fired.append("b"))
+        a = sim.cancellable_timeout(5.0, name="a")
+        a.event.add_callback(lambda e: fired.append(("a", b.cancel())))
+        sim.run()
+        assert fired == ["b", ("a", False)]
+
+    def test_cancelled_entries_not_counted_under_churn(self, sim):
+        handles = [sim.cancellable_timeout(1.0 + 0.001 * i)
+                   for i in range(200)]
+        for h in handles[1::2]:      # cancel every other entry
+            assert h.cancel()
+        survivors = []
+        for i, h in enumerate(handles[0::2]):
+            h.event.add_callback(lambda e, i=i: survivors.append(i))
+        sim.run()
+        assert survivors == list(range(100))
+        # Only the surviving entries count as processed events.
+        assert sim.event_count == 100
+
+    def test_supersede_reschedule_loop(self, sim):
+        # The flow-engine / injector pattern: each fire re-arms a new
+        # timeout and cancels the stale one; exactly one chain of fires
+        # survives, at the rescheduled instants.
+        fires = []
+        state = {}
+
+        def arm(delay):
+            old = state.get("h")
+            if old is not None:
+                old.cancel()
+            h = sim.cancellable_timeout(delay)
+            h.event.add_callback(on_fire)
+            state["h"] = h
+
+        def on_fire(_e):
+            fires.append(sim.now)
+            if len(fires) < 3:
+                arm(1.0)
+
+        arm(5.0)
+        arm(2.0)   # supersedes the 5s entry
+        sim.run()
+        assert fires == [2.0, 3.0, 4.0]
+        # 3 fires + 2 stale (5s original + final chain leftovers): only
+        # non-cancelled entries were counted as processed.
+        assert sim.event_count == 3
+
+    def test_cancel_mid_run_from_process(self, sim):
+        # A process cancelling a timeout it previously armed, while
+        # other timeouts at the same instant fire normally.
+        h = sim.cancellable_timeout(10.0)
+        hits = []
+        h.event.add_callback(lambda e: hits.append("cancelled-one"))
+
+        def proc():
+            yield sim.timeout(10.0 - 1e-9)
+            h.cancel()
+            yield sim.timeout(1.0)
+            hits.append("proc-done")
+
+        sim.process(proc())
+        sim.run()
+        assert hits == ["proc-done"]

@@ -140,3 +140,131 @@ class TestTraceModel:
                                  stage_in_bytes=100, stage_in_files=1),
                         TraceJob(job_id=2, submit_time=1.0)))
         assert t.staged_fraction == pytest.approx(0.5)
+
+
+class TestJsonlFaults:
+    def test_fault_records_round_trip(self):
+        from repro.faults import FaultRecord
+        faults = (
+            FaultRecord(time=10.0, kind="node_crash", target="cn0",
+                        duration=30.0),
+            FaultRecord(time=50.0, kind="transfer_corrupt", target="cn1",
+                        magnitude=2.0, note="checksum"),
+        )
+        t = Trace(name="faulty",
+                  jobs=(TraceJob(job_id=1, submit_time=0.0),),
+                  faults=faults)
+        back = parse_jsonl(format_jsonl(t))
+        assert back == t
+        assert back.faults == faults
+
+    def test_fault_line_unknown_keys_ignored(self):
+        t = parse_jsonl(
+            '{"fault": {"t": 5, "kind": "urd_restart", "node": "cn0", '
+            '"blast_radius": "large"}}\n'
+            '{"id": 1, "submit": 0}\n')
+        assert len(t.faults) == 1 and t.faults[0].kind == "urd_restart"
+
+    def test_bad_fault_line_rejected(self):
+        with pytest.raises(TraceError, match="unknown fault kind"):
+            parse_jsonl('{"fault": {"t": 5, "kind": "sharknado", '
+                        '"node": "cn0"}}\n')
+
+    def test_max_requeues_round_trips(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0,
+                                 max_requeues=5),))
+        back = parse_jsonl(format_jsonl(t))
+        assert back.jobs[0].max_requeues == 5
+        # default (-1) stays off the wire
+        t0 = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0),))
+        assert "max_requeues" not in format_jsonl(t0)
+
+
+class TestJsonlRoundTripProperty:
+    """Hypothesis: JSONL <-> records is lossless for every field —
+    including the fault/requeue extensions — and tolerates unknown
+    keys (forward compatibility)."""
+
+    import json as _json
+
+    from hypothesis import given, settings, strategies as st
+
+    finite = st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e15, max_value=1e15)
+    nonneg = st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=0, max_value=1e15)
+
+    @st.composite
+    def trace_jobs(draw, st=st):
+        n = draw(st.integers(min_value=0, max_value=8))
+        ids = draw(st.lists(st.integers(min_value=1, max_value=10 ** 6),
+                            min_size=n, max_size=n, unique=True))
+        jobs = []
+        for i, job_id in enumerate(sorted(ids)):
+            cls = TestJsonlRoundTripProperty
+            jobs.append(TraceJob(
+                job_id=job_id,
+                submit_time=float(i) + draw(cls.nonneg) % 1.0,
+                wait_time=draw(cls.finite),
+                run_time=draw(cls.finite),
+                procs=draw(st.integers(min_value=1, max_value=4096)),
+                requested_time=draw(cls.finite),
+                status=draw(st.sampled_from([0, 1, 5])),
+                user=draw(st.integers(min_value=1, max_value=9999)),
+                workflow_start=draw(st.booleans()),
+                stage_in_bytes=draw(st.integers(0, 10 ** 15)),
+                stage_in_files=draw(st.integers(0, 10 ** 6)),
+                stage_out_bytes=draw(st.integers(0, 10 ** 15)),
+                stage_out_files=draw(st.integers(0, 10 ** 6)),
+                persist=draw(st.booleans()),
+                max_requeues=draw(st.integers(min_value=-1, max_value=99)),
+            ))
+        return tuple(jobs)
+
+    @st.composite
+    def fault_records(draw, st=st):
+        from repro.faults import FAULT_KINDS, FaultRecord
+        cls = TestJsonlRoundTripProperty
+        n = draw(st.integers(min_value=0, max_value=4))
+        out = []
+        for i in range(n):
+            kind = draw(st.sampled_from(
+                [k for k in FAULT_KINDS
+                 if k not in ("link_degrade", "link_partition",
+                              "device_degrade", "node_crash")]))
+            out.append(FaultRecord(
+                time=1000.0 * i + draw(cls.nonneg) % 100.0,
+                kind=kind,
+                target=f"cn{draw(st.integers(0, 63))}",
+                magnitude=(float(draw(st.integers(1, 5)))
+                           if kind == "transfer_corrupt" else 1.0),
+                duration=draw(cls.nonneg) % 1e6,
+                note=draw(st.text(
+                    alphabet=st.characters(codec="utf-8",
+                                           exclude_categories=("C",)),
+                    max_size=24)),
+            ))
+        return tuple(out)
+
+    @given(jobs=trace_jobs(), faults=fault_records())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_lossless(self, jobs, faults):
+        t = Trace(name="prop", jobs=jobs, faults=faults)
+        assert parse_jsonl(format_jsonl(t)) == t
+
+    @given(jobs=trace_jobs(), extra=st.dictionaries(
+        st.text(alphabet="abcdefghijklmnop_", min_size=3, max_size=12)
+          .filter(lambda k: k not in ("id", "submit", "meta", "fault")),
+        st.integers(-1000, 1000), max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_keys_ignored(self, jobs, extra):
+        import json
+        t = Trace(name="prop", jobs=jobs)
+        lines = format_jsonl(t).splitlines()
+        doctored = [lines[0]]
+        for line in lines[1:]:
+            obj = json.loads(line)
+            known = set(obj)
+            obj.update({k: v for k, v in extra.items() if k not in known})
+            doctored.append(json.dumps(obj))
+        assert parse_jsonl("\n".join(doctored) + "\n") == t
