@@ -1,0 +1,130 @@
+"""Fold benchmark gate artifacts into the checked-in trajectory file.
+
+Each CI gate emits a pytest-benchmark JSON artifact
+(``BENCH_<gate>.json``).  Those are per-commit snapshots; this tool
+appends their one-line summaries into ``BENCH_trajectory.json`` at the
+repo root so the performance history travels *with* the repo instead
+of expiring with CI artifact retention.
+
+Usage::
+
+    python benchmarks/trajectory.py BENCH_fleet.json [BENCH_x.json ...]
+        [--commit SHA] [--trajectory PATH]
+
+The gate name comes from the artifact filename (``BENCH_fleet.json``
+-> ``fleet``).  One entry per (gate, commit): re-running on the same
+commit replaces the old entry, so CI retries don't duplicate history.
+The timestamp is pytest-benchmark's own ``datetime`` stamp from inside
+the artifact — this tool adds no clock reads of its own, so folding
+the same artifact twice is idempotent byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+TRAJECTORY = pathlib.Path(__file__).parent.parent / \
+    "BENCH_trajectory.json"
+
+#: extra_info keys promoted to the trajectory, in preference order.
+#: Everything numeric still rides along; these lead the summary.
+KEY_METRICS = ("speedup", "events_per_second", "requests_per_second",
+               "jobs_per_second", "frames_per_second", "goodput")
+
+
+def gate_name(path: pathlib.Path) -> str:
+    m = re.match(r"BENCH_([A-Za-z0-9_-]+)\.json$", path.name)
+    return m.group(1) if m else path.stem
+
+
+def summarize(path: pathlib.Path, commit: str) -> dict:
+    doc = json.loads(path.read_text())
+    benches = []
+    for b in doc.get("benchmarks", ()):
+        extra = {k: v for k, v in (b.get("extra_info") or {}).items()
+                 if isinstance(v, (int, float, bool))}
+        key_metric = next(
+            ((k, extra[k]) for k in KEY_METRICS if k in extra), None)
+        entry = {
+            "name": b.get("name", "?"),
+            "mean_seconds": round(b.get("stats", {}).get("mean", 0.0),
+                                  6),
+            "extra_info": extra,
+        }
+        if key_metric is not None:
+            entry["key_metric"] = {"name": key_metric[0],
+                                   "value": key_metric[1]}
+        benches.append(entry)
+    benches.sort(key=lambda e: e["name"])
+    return {
+        "gate": gate_name(path),
+        "commit": commit,
+        "date": doc.get("datetime", ""),
+        "benchmarks": benches,
+    }
+
+
+def fold(trajectory: pathlib.Path, entries: list) -> dict:
+    if trajectory.exists():
+        doc = json.loads(trajectory.read_text())
+    else:
+        doc = {"version": 1, "entries": []}
+    kept = [e for e in doc["entries"]
+            if (e["gate"], e["commit"]) not in
+            {(n["gate"], n["commit"]) for n in entries}]
+    doc["entries"] = kept + entries
+    doc["entries"].sort(key=lambda e: (e["date"], e["gate"]))
+    return doc
+
+
+def detect_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=pathlib.Path(__file__).parent).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="+",
+                        help="pytest-benchmark JSON files "
+                             "(BENCH_<gate>.json)")
+    parser.add_argument("--commit", default=None,
+                        help="commit id (default: git rev-parse)")
+    parser.add_argument("--trajectory", default=str(TRAJECTORY),
+                        help="trajectory file to fold into")
+    args = parser.parse_args(argv)
+    commit = args.commit or detect_commit()
+
+    entries = []
+    for name in args.artifacts:
+        path = pathlib.Path(name)
+        if not path.exists():
+            print(f"trajectory: missing artifact {path}, skipped",
+                  file=sys.stderr)
+            continue
+        entries.append(summarize(path, commit))
+    if not entries:
+        print("trajectory: no artifacts folded", file=sys.stderr)
+        return 1
+
+    trajectory = pathlib.Path(args.trajectory)
+    doc = fold(trajectory, entries)
+    trajectory.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                          + "\n")
+    print(f"trajectory: {trajectory} now has {len(doc['entries'])} "
+          f"entries ({', '.join(e['gate'] for e in entries)} @ "
+          f"{commit})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ registers every dataspace through the genuine ``nornsctl`` control API
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -95,6 +96,7 @@ def build(spec: ClusterSpec, seed: int = 0,
                            monitor=monitor, pfs=pfs, ctld=None)  # type: ignore[arg-type]
 
     slurmds: Dict[str, Slurmd] = {}
+    step_pids = itertools.count(10_000)
     for name in names:
         hub = LocalSocketHub(sim, node=name)
         mounts: Dict[str, Mount] = {}
@@ -117,7 +119,8 @@ def build(spec: ClusterSpec, seed: int = 0,
                         membus=fabric.port(name).membus)
         urd.set_mount_table(mount_table)
         slurmd = Slurmd(sim, name, hub, urd,
-                        membus=fabric.port(name).membus)
+                        membus=fabric.port(name).membus,
+                        pid_alloc=step_pids)
         slurmds[name] = slurmd
         handle.nodes[name] = NodeHandle(name=name, hub=hub, urd=urd,
                                         slurmd=slurmd, mounts=mounts)

@@ -5,6 +5,11 @@ Each module exposes ``run(quick=True, seed=0) -> ExperimentResult``.
 minutes of wall time; the full setting approaches the paper's scale.
 The benchmark suite (``benchmarks/``) regenerates every result and
 EXPERIMENTS.md records paper-vs-measured.
+
+Replay-backed experiments (``policy_ab``, ``resilience``) execute
+through the sweep fleet (:mod:`repro.experiments.fleet`) and accept a
+``workers=`` keyword; arbitrary parameter sweeps run through the same
+machinery via ``python -m repro.slurm.cli sweep``.
 """
 
 from repro.experiments.harness import ExperimentResult

@@ -1,0 +1,148 @@
+"""Self-describing run artifact directories.
+
+Every shard of a sweep lands in its own directory under
+``<out>/runs/<run_id>/``::
+
+    config.json      # the RunSpec echo — enough to re-execute the run
+    result.json      # axes + the scalar metric vector (+ info)
+    metrics.jsonl    # one JSON line per replayed job
+    report.txt       # the full replay report text
+    runstats.json    # wall time / peak RSS / pid / attempts (NOT merged)
+    COMPLETE         # written last; its presence is the resume marker
+
+All payload files are written before ``COMPLETE``, so an interrupted
+sweep leaves no directory that ``resume`` would wrongly skip.  Paths
+are resolved to absolutes once, at the top — worker processes and
+``os.chdir``-happy callers can never smear artifacts across working
+directories.  The same layout serves the experiment battery
+(:mod:`repro.experiments.runall`) via :func:`write_experiment_run`, so
+every run directory in the repo is self-describing in the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.fleet.runspec import RunResult, RunSpec
+
+__all__ = ["run_dir", "write_run", "load_run", "is_complete",
+           "completed_runs", "write_fleet_summary",
+           "write_experiment_run"]
+
+_RUNS = "runs"
+_COMPLETE = "COMPLETE"
+
+
+def _dump(path: Path, obj: Any) -> None:
+    path.write_text(json.dumps(obj, indent=2, sort_keys=False) + "\n")
+
+
+def run_dir(out_dir, run_id: str) -> Path:
+    return Path(out_dir).resolve() / _RUNS / run_id
+
+
+def is_complete(out_dir, run_id: str) -> bool:
+    return (run_dir(out_dir, run_id) / _COMPLETE).exists()
+
+
+def completed_runs(out_dir) -> List[str]:
+    """Run ids with a COMPLETE marker under ``out_dir``, sorted."""
+    base = Path(out_dir).resolve() / _RUNS
+    if not base.is_dir():
+        return []
+    return sorted(p.name for p in base.iterdir()
+                  if (p / _COMPLETE).exists())
+
+
+def write_run(out_dir, spec: RunSpec, result: RunResult) -> Path:
+    """Persist one finished shard; returns its directory."""
+    d = run_dir(out_dir, spec.run_id)
+    d.mkdir(parents=True, exist_ok=True)
+    marker = d / _COMPLETE
+    if marker.exists():            # re-run over a finished dir: restart
+        marker.unlink()
+    _dump(d / "config.json", spec.to_dict())
+    _dump(d / "result.json", {
+        "run_id": result.run_id,
+        "axes": {k: v for k, v in result.axes},
+        "seed": result.seed,
+        "metrics": result.metrics,
+        "info": result.info,
+    })
+    with open(d / "metrics.jsonl", "w") as fh:
+        for row in result.job_metrics:
+            fh.write(json.dumps(row) + "\n")
+    (d / "report.txt").write_text(result.report_text)
+    _dump(d / "runstats.json", result.runstats)
+    marker.write_text("ok\n")
+    return d
+
+
+def load_run(out_dir, run_id: str) -> RunResult:
+    """Reload a completed shard's result from its artifact directory."""
+    d = run_dir(out_dir, run_id)
+    if not (d / _COMPLETE).exists():
+        raise ReproError(f"run {run_id!r} has no COMPLETE marker in {d}")
+    payload = json.loads((d / "result.json").read_text())
+    job_metrics = []
+    metrics_path = d / "metrics.jsonl"
+    if metrics_path.exists():
+        for line in metrics_path.read_text().splitlines():
+            if line.strip():
+                job_metrics.append(json.loads(line))
+    runstats: Dict[str, Any] = {}
+    stats_path = d / "runstats.json"
+    if stats_path.exists():
+        runstats = json.loads(stats_path.read_text())
+    runstats["loaded_from_artifact"] = True
+    return RunResult(
+        run_id=payload["run_id"],
+        axes=tuple(sorted((str(k), str(v))
+                          for k, v in payload.get("axes", {}).items())),
+        seed=int(payload.get("seed", 0)),
+        metrics=payload.get("metrics", {}),
+        info=payload.get("info", {}),
+        report_text=(d / "report.txt").read_text()
+        if (d / "report.txt").exists() else "",
+        job_metrics=job_metrics,
+        runstats=runstats)
+
+
+def write_fleet_summary(out_dir, matrix_desc: Dict[str, Any],
+                        report_text: str,
+                        dispatcher: str = "",
+                        runstats: Optional[Dict[str, Any]] = None) -> None:
+    """Sweep-level artifacts: ``fleet.json`` + ``fleet_report.txt``."""
+    base = Path(out_dir).resolve()
+    base.mkdir(parents=True, exist_ok=True)
+    _dump(base / "fleet.json", {
+        "matrix": matrix_desc,
+        "dispatcher": dispatcher,
+        "runstats": runstats or {},
+    })
+    (base / "fleet_report.txt").write_text(report_text)
+
+
+def write_experiment_run(out_dir, exp_id: str, config: Dict[str, Any],
+                         metrics: Dict[str, float], report_text: str,
+                         runstats: Dict[str, Any],
+                         info: Optional[Dict[str, str]] = None) -> Path:
+    """The fleet artifact layout for one experiment-battery entry."""
+    d = run_dir(out_dir, exp_id)
+    d.mkdir(parents=True, exist_ok=True)
+    marker = d / _COMPLETE
+    if marker.exists():
+        marker.unlink()
+    _dump(d / "config.json", config)
+    _dump(d / "result.json", {
+        "run_id": exp_id,
+        "metrics": metrics,
+        "info": info or {},
+    })
+    (d / "report.txt").write_text(report_text)
+    _dump(d / "runstats.json", runstats)
+    marker.write_text("ok\n")
+    return d

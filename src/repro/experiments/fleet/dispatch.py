@@ -1,0 +1,271 @@
+"""Run dispatchers: where a sweep's shards actually execute.
+
+The :class:`RunDispatcher` interface mirrors the stage-dispatcher
+pattern (a local executor now, a callback adapter for remote workers
+later): ``run_all`` takes position-independent
+:class:`~repro.experiments.fleet.runspec.RunSpec`\\ s and returns their
+:class:`~repro.experiments.fleet.runspec.RunResult`\\ s *in spec order*,
+whatever order they completed in — merged reports therefore never
+depend on scheduling noise.
+
+* :class:`SerialDispatcher` — in-process, for tests, debugging and the
+  byte-identity oracle.
+* :class:`ProcessPoolDispatcher` — ``concurrent.futures
+  .ProcessPoolExecutor`` with worker warm-up, bounded in-flight
+  submissions, a per-run timeout, and retry-on-worker-crash (a
+  ``BrokenProcessPool`` re-queues the lost shards onto a fresh pool
+  under a per-run attempt budget).
+* :class:`CallbackDispatcher` — forwards each spec to a user callback;
+  the seam a remote/cluster execution backend plugs into.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.fleet.runspec import RunResult, RunSpec, measured_run
+
+__all__ = ["FleetError", "RunDispatcher", "SerialDispatcher",
+           "ProcessPoolDispatcher", "CallbackDispatcher"]
+
+#: test hook: when this env var names a directory containing
+#: ``<run_id>.crash``, the pool worker consumes the marker and dies
+#: hard (exercises the retry-on-worker-crash path deterministically).
+CRASH_DIR_ENV = "REPRO_FLEET_CRASH_DIR"
+
+
+class FleetError(ReproError):
+    """A sweep shard failed, timed out, or ran out of retries."""
+
+
+class RunDispatcher:
+    """Executes RunSpecs somewhere; results come back in spec order."""
+
+    name = "abstract"
+
+    def run_all(self, specs: Sequence[RunSpec],
+                on_result: Optional[Callable[[RunResult], None]] = None,
+                ) -> List[RunResult]:
+        raise NotImplementedError
+
+
+class SerialDispatcher(RunDispatcher):
+    """In-process execution, one shard at a time."""
+
+    name = "serial"
+
+    def run_all(self, specs, on_result=None):
+        results = []
+        for spec in specs:
+            result = measured_run(spec)
+            result.runstats["attempts"] = 1
+            result.runstats["dispatcher"] = self.name
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+
+class CallbackDispatcher(RunDispatcher):
+    """Forward each spec to a callback (future remote-worker adapter).
+
+    The callback receives one :class:`RunSpec` and must return its
+    :class:`RunResult` — however it produced it (in another process,
+    over the network, from a cache).  Shards are forwarded in spec
+    order; pipelining is the callback's own business.
+    """
+
+    name = "callback"
+
+    def __init__(self, callback: Callable[[RunSpec], RunResult]) -> None:
+        self.callback = callback
+
+    def run_all(self, specs, on_result=None):
+        results = []
+        for spec in specs:
+            result = self.callback(spec)
+            if not isinstance(result, RunResult):
+                raise FleetError(
+                    f"callback returned {type(result).__name__} for "
+                    f"{spec.run_id!r}, expected RunResult")
+            result.runstats.setdefault("attempts", 1)
+            result.runstats["dispatcher"] = self.name
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+
+def _pool_run(spec: RunSpec) -> RunResult:
+    """Top-level worker entry (must be picklable by module path)."""
+    crash_dir = os.environ.get(CRASH_DIR_ENV)
+    if crash_dir:
+        marker = os.path.join(crash_dir, f"{spec.run_id}.crash")
+        if os.path.exists(marker):
+            os.unlink(marker)
+            os._exit(13)        # simulate a hard worker crash
+    return measured_run(spec)
+
+
+def _warm(_: int) -> int:
+    """Pre-import the simulation stack inside a pool worker."""
+    import repro.cluster          # noqa: F401
+    import repro.faults           # noqa: F401
+    import repro.traces           # noqa: F401
+    return os.getpid()
+
+
+class ProcessPoolDispatcher(RunDispatcher):
+    """Fan shards out over local worker processes.
+
+    ``workers``
+        pool size.
+    ``max_inflight``
+        bound on submitted-but-unfinished shards (default
+        ``2 * workers``) so a huge matrix never materialises its whole
+        future set at once.
+    ``timeout``
+        per-run wall-clock budget in seconds; an overrunning shard has
+        its pool torn down and is re-queued (``None`` = no limit).
+    ``retries``
+        extra attempts a shard may consume after a worker crash or
+        timeout before the sweep fails.
+    ``warm_up``
+        pre-import the simulation stack in every worker before the
+        first real submission, so import cost never lands inside a
+        measured run.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int = 2,
+                 max_inflight: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 warm_up: bool = True,
+                 mp_context=None) -> None:
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        self.workers = workers
+        self.max_inflight = max_inflight or 2 * workers
+        self.timeout = timeout
+        self.retries = retries
+        self.warm_up = warm_up
+        self.mp_context = mp_context
+
+    # -- pool lifecycle --------------------------------------------------
+    def _new_pool(self) -> ProcessPoolExecutor:
+        pool = ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=self.mp_context)
+        if self.warm_up:
+            # One warm-up task per worker; map() blocks until all done.
+            list(pool.map(_warm, range(self.workers)))
+        return pool
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard (used on per-run timeout)."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- dispatch loop ---------------------------------------------------
+    def run_all(self, specs, on_result=None):
+        specs = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        attempts: Dict[int, int] = {i: 0 for i in range(len(specs))}
+        pending = collections.deque(range(len(specs)))
+        if not specs:
+            return []
+        pool = self._new_pool()
+        in_flight: Dict[object, int] = {}
+        deadlines: Dict[object, float] = {}
+
+        def requeue(idx: int, why: str) -> None:
+            if attempts[idx] > self.retries:
+                raise FleetError(
+                    f"run {specs[idx].run_id!r} {why} after "
+                    f"{attempts[idx]} attempts")
+            pending.appendleft(idx)
+
+        try:
+            while pending or in_flight:
+                while pending and len(in_flight) < self.max_inflight:
+                    idx = pending.popleft()
+                    attempts[idx] += 1
+                    try:
+                        fut = pool.submit(_pool_run, specs[idx])
+                    except BrokenProcessPool:
+                        # The pool died between rounds: put this shard
+                        # back (uncharged) and rebuild.
+                        attempts[idx] -= 1
+                        pending.appendleft(idx)
+                        pool = self._new_pool()
+                        continue
+                    in_flight[fut] = idx
+                    if self.timeout is not None:
+                        deadlines[fut] = time.monotonic() + self.timeout
+                wait_for = None
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines.values())
+                                   - time.monotonic())
+                done, _ = wait(set(in_flight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for fut in done:
+                    idx = in_flight.pop(fut)
+                    deadlines.pop(fut, None)
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        requeue(idx, "crashed a worker")
+                        continue
+                    except Exception as exc:
+                        raise FleetError(
+                            f"run {specs[idx].run_id!r} failed: "
+                            f"{exc!r}") from exc
+                    result.runstats["attempts"] = attempts[idx]
+                    result.runstats["dispatcher"] = self.name
+                    results[idx] = result
+                    if on_result is not None:
+                        on_result(result)
+                if broken:
+                    # Every sibling future on the broken pool is lost
+                    # too; re-queue them without charging an attempt.
+                    for fut, idx in list(in_flight.items()):
+                        attempts[idx] -= 1
+                        requeue(idx, "lost its worker")
+                    in_flight.clear()
+                    deadlines.clear()
+                    pool = self._new_pool()
+                elif not done and deadlines:
+                    now = time.monotonic()
+                    expired = [f for f, dl in deadlines.items()
+                               if dl <= now]
+                    if expired:
+                        # Can't cancel a running future without killing
+                        # its process: tear the pool down, charge the
+                        # overrunning shards, re-queue the innocents.
+                        expired_idx = {in_flight[f] for f in expired}
+                        self._kill_pool(pool)
+                        for fut, idx in list(in_flight.items()):
+                            if idx not in expired_idx:
+                                attempts[idx] -= 1
+                            requeue(idx, "timed out")
+                        in_flight.clear()
+                        deadlines.clear()
+                        pool = self._new_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        missing = [specs[i].run_id for i, r in enumerate(results)
+                   if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise FleetError(f"runs never completed: {missing}")
+        return results

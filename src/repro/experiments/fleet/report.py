@@ -1,0 +1,143 @@
+"""The merged cross-run comparison: one table keyed by sweep axes.
+
+A :class:`FleetReport` collects every shard's metric vector into one
+deterministic table.  Rows are sorted by the canonical axis key
+(numeric-aware, independent of submission or completion order) and the
+nondeterministic run statistics (wall time, RSS, pids) are excluded
+entirely, so the rendered report for a fixed matrix + seed is
+byte-identical across serial, process-pool, and shuffled executions —
+the property the fleet benchmark gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.fleet.runspec import RunResult
+from repro.util.tables import render_table
+
+__all__ = ["FleetReport"]
+
+#: preferred column order; metrics outside this list append sorted.
+_METRIC_ORDER = (
+    "completed", "goodput", "makespan_seconds",
+    "throughput_jobs_per_hour", "node_utilization",
+    "mean_wait_seconds", "p95_wait_seconds", "median_slowdown",
+    "mean_stage_seconds", "staged_jobs", "bytes_staged",
+    "faults_injected", "jobs_requeued", "jobs_failed", "tasks_retried",
+    "tasks_lost", "node_downtime_seconds", "mttr_seconds",
+    "resilience_goodput",
+)
+
+
+def _value_key(text: str) -> Tuple[int, Any]:
+    """Numeric-aware sort key: 2 before 10, but stable for strings."""
+    try:
+        return (0, float(text))
+    except ValueError:
+        return (1, text)
+
+
+@dataclass
+class FleetReport:
+    """Deterministically-merged sweep outcome."""
+
+    name: str
+    sweep_seed: int
+    axis_names: Tuple[str, ...]
+    results: List[RunResult]
+
+    @classmethod
+    def merge(cls, results: Sequence[RunResult], *, name: str = "sweep",
+              sweep_seed: int = 0,
+              axis_names: Optional[Sequence[str]] = None) -> "FleetReport":
+        """Merge shard results in canonical axis order.
+
+        ``axis_names`` defaults to the union of axis names seen in the
+        results (sorted); results missing an axis sort first on it.
+        """
+        results = list(results)
+        if axis_names is None:
+            names = set()
+            for r in results:
+                names.update(k for k, _ in r.axes)
+            axis_names = tuple(sorted(names))
+        axis_names = tuple(axis_names)
+
+        def key(result: RunResult):
+            axes = dict(result.axes)
+            return tuple(_value_key(axes.get(n, "")) for n in axis_names) \
+                + (result.run_id,)
+
+        by_id = {}
+        for r in results:
+            if r.run_id in by_id:
+                raise ReproError(f"duplicate run id {r.run_id!r} in merge")
+            by_id[r.run_id] = r
+        return cls(name=name, sweep_seed=int(sweep_seed),
+                   axis_names=axis_names,
+                   results=sorted(results, key=key))
+
+    # -- access ----------------------------------------------------------
+    def run(self, run_id: str) -> RunResult:
+        for r in self.results:
+            if r.run_id == run_id:
+                return r
+        raise ReproError(f"no run {run_id!r} in fleet report")
+
+    def metric(self, run_id: str, name: str) -> float:
+        return self.run(run_id).metrics[name]
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        seen = set()
+        for r in self.results:
+            seen.update(r.metrics)
+        ordered = [m for m in _METRIC_ORDER if m in seen]
+        ordered += sorted(seen.difference(_METRIC_ORDER))
+        return tuple(ordered)
+
+    # -- rendering -------------------------------------------------------
+    def to_text(self) -> str:
+        """Byte-reproducible cross-run table (no wall-clock content)."""
+        head = render_table(
+            ("SWEEP", "RUNS", "SEED", "AXES"),
+            [(self.name, len(self.results), self.sweep_seed,
+              ",".join(self.axis_names) or "-")],
+            title="fleet sweep")
+        metric_names = self.metric_names
+        headers = tuple(self.axis_names) + metric_names
+        rows = []
+        for r in self.results:
+            axes = dict(r.axes)
+            row: List[Any] = [axes.get(n, "-") for n in self.axis_names]
+            for m in metric_names:
+                value = r.metrics.get(m)
+                row.append("-" if value is None else value)
+            rows.append(tuple(row))
+        body = render_table(headers, rows,
+                            title="per-run outcomes (sweep axes × metrics)")
+        parts = [head, body]
+        notes = [f"  {r.run_id}: {r.info['fault_mix']}"
+                 for r in self.results if r.info.get("fault_mix")]
+        if notes:
+            parts.append("fault mixes:\n" + "\n".join(notes))
+        return "\n\n".join(parts) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able summary (deterministic; no runstats)."""
+        return {
+            "name": self.name,
+            "sweep_seed": self.sweep_seed,
+            "axis_names": list(self.axis_names),
+            "runs": [
+                {"run_id": r.run_id, "axes": dict(r.axes),
+                 "seed": r.seed, "metrics": r.metrics, "info": r.info}
+                for r in self.results
+            ],
+        }
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,88 @@
+"""The fleet runner: matrix → dispatcher → artifacts → merged report.
+
+Ties the subsystem together: expands the :class:`~repro.experiments
+.fleet.matrix.SweepMatrix`, skips shards whose artifact directories are
+already COMPLETE (``resume=True``), dispatches the remainder through
+any :class:`~repro.experiments.fleet.dispatch.RunDispatcher`, persists
+each shard as it lands, and merges everything — fresh and resumed —
+into one deterministic :class:`~repro.experiments.fleet.report
+.FleetReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.experiments.fleet import artifacts
+from repro.experiments.fleet.dispatch import (
+    ProcessPoolDispatcher, RunDispatcher, SerialDispatcher,
+)
+from repro.experiments.fleet.matrix import SweepMatrix
+from repro.experiments.fleet.report import FleetReport
+from repro.experiments.fleet.runspec import RunResult, RunSpec
+
+__all__ = ["FleetRunner", "make_dispatcher"]
+
+
+def make_dispatcher(workers: int = 1,
+                    timeout: Optional[float] = None,
+                    retries: int = 2) -> RunDispatcher:
+    """Serial for one worker, a process pool otherwise."""
+    if workers <= 1:
+        return SerialDispatcher()
+    return ProcessPoolDispatcher(workers=workers, timeout=timeout,
+                                 retries=retries)
+
+
+class FleetRunner:
+    """Execute one sweep matrix end to end."""
+
+    def __init__(self, matrix: SweepMatrix,
+                 dispatcher: Optional[RunDispatcher] = None,
+                 out_dir=None, resume: bool = False) -> None:
+        self.matrix = matrix
+        self.dispatcher = dispatcher or SerialDispatcher()
+        self.out_dir = out_dir
+        self.resume = resume
+        #: run ids skipped by resume on the last :meth:`run` call.
+        self.resumed: List[str] = []
+
+    def run(self) -> FleetReport:
+        specs = self.matrix.expand()
+        by_id = {spec.run_id: spec for spec in specs}
+        loaded: List[RunResult] = []
+        todo: List[RunSpec] = specs
+        self.resumed = []
+        if self.resume and self.out_dir is not None:
+            todo = []
+            for spec in specs:
+                if artifacts.is_complete(self.out_dir, spec.run_id):
+                    loaded.append(artifacts.load_run(self.out_dir,
+                                                     spec.run_id))
+                    self.resumed.append(spec.run_id)
+                else:
+                    todo.append(spec)
+
+        on_result = None
+        if self.out_dir is not None:
+            def on_result(result: RunResult) -> None:
+                artifacts.write_run(self.out_dir, by_id[result.run_id],
+                                    result)
+
+        t0 = time.perf_counter()
+        fresh = self.dispatcher.run_all(todo, on_result=on_result)
+        wall = time.perf_counter() - t0
+
+        report = FleetReport.merge(
+            loaded + list(fresh), name=self.matrix.name,
+            sweep_seed=self.matrix.sweep_seed,
+            axis_names=self.matrix.axis_names)
+        if self.out_dir is not None:
+            artifacts.write_fleet_summary(
+                self.out_dir, self.matrix.describe(), report.to_text(),
+                dispatcher=self.dispatcher.name,
+                runstats={"wall_seconds": wall,
+                          "executed": len(fresh),
+                          "resumed": len(loaded)})
+        return report

@@ -2,16 +2,21 @@
 
 Not a paper figure: this is the experiment the fault-injection
 subsystem (:mod:`repro.faults`) exists for.  A synthesized staged
-workload is replayed twice through identical clusters — once clean,
-once under the seeded ``chaos`` profile (a node crash with reboot, a
-urd restart losing in-flight staging tasks, a congested link, a
-node-local device brownout, corrupted transfers forcing retries, and a
-maintenance drain) — and the population outcomes are tabulated side by
-side: goodput vs. the baseline, requeue count, lost/retried staging
-work, node downtime and MTTR.
+workload is replayed twice through identical clusters — once under the
+armed-but-empty ``none`` profile (provably byte-identical to no
+injector at all), once under the seeded ``chaos`` profile (a node
+crash with reboot, a urd restart losing in-flight staging tasks, a
+congested link, a node-local device brownout, corrupted transfers
+forcing retries, and a maintenance drain) — and the population
+outcomes are tabulated side by side: goodput vs. the baseline, requeue
+count, lost/retried staging work, node downtime and MTTR.
 
-Everything derives from the one seed, so the comparison is
-deterministic: same seed ⇒ byte-identical table, run after run.
+Both arms execute through the sweep fleet (:mod:`repro.experiments
+.fleet`) as a one-axis ``fault_profile`` matrix with no seed axis:
+every arm derives the same child seed, so the comparison is
+deterministic — same seed ⇒ byte-identical table, run after run,
+whatever the dispatcher (``workers > 1`` fans the arms out over
+processes).
 
 ``quick`` replays 80 jobs on 8 nodes per arm; ``--full`` replays 1,500
 jobs on the 48-node ``replay_scale`` preset.
@@ -19,45 +24,38 @@ jobs on the 48-node ``replay_scale`` preset.
 
 from __future__ import annotations
 
-from repro.cluster import build, replay_scale
-from repro.experiments.harness import ExperimentResult
-from repro.faults import fault_profile
-from repro.traces import (
-    ReplayConfig, SynthesisConfig, TraceReplayer, synthesize,
+from repro.experiments.fleet import (
+    FleetRunner, SweepMatrix, make_dispatcher,
 )
-from repro.util.units import GB
+from repro.experiments.harness import ExperimentResult
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0,
+        workers: int = 1) -> ExperimentResult:
     n_jobs = 80 if quick else 1500
     n_nodes = 8 if quick else 48
-    cfg = SynthesisConfig(
-        n_jobs=n_jobs,
-        arrival="poisson",
-        mean_interarrival=8.0 if quick else 10.0,
-        max_nodes=max(2, n_nodes // 4),
-        mean_runtime=180.0,
-        staged_fraction=0.35,
-        stage_bytes_mean=4 * GB,
-        stage_files=2,
-    )
-    trace = synthesize(cfg, seed=seed)
-    horizon = max(300.0, trace.duration)
-
-    def replay(plan):
-        handle = build(replay_scale(n_nodes=n_nodes), seed=seed)
-        faults = None
-        if plan is not None:
-            faults = fault_profile(plan, horizon=horizon,
-                                   nodes=handle.node_names, seed=seed)
-        return TraceReplayer(handle, trace,
-                             ReplayConfig(fault_plan=faults)).run()
-
-    baseline = replay(None)
-    faulted = replay("chaos")
-    res = faulted.resilience
+    matrix = SweepMatrix.from_axes(
+        {"fault_profile": ["none", "chaos"]},
+        sweep_seed=seed, name="resilience",
+        preset="replay_scale", n_nodes=n_nodes,
+        # The "fault-mix" workload preset at experiment scale.
+        workload=dict(
+            n_jobs=n_jobs,
+            arrival="poisson",
+            mean_interarrival=8.0 if quick else 10.0,
+            max_nodes=max(2, n_nodes // 4),
+            mean_runtime=180.0,
+            staged_fraction=0.35,
+            stage_bytes_mean=4e9,
+            stage_files=2,
+        ))
+    fleet = FleetRunner(matrix,
+                        dispatcher=make_dispatcher(workers)).run()
+    baseline = fleet.run("fault_profile=none")
+    faulted = fleet.run("fault_profile=chaos")
+    base, chaos = baseline.metrics, faulted.metrics
 
     result = ExperimentResult(
         exp_id="resilience",
@@ -66,35 +64,39 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         headers=("arm", "done", "makespan s", "mean wait s",
                  "requeues", "util", "goodput"))
 
-    def row(label, report, requeues, goodput):
-        wait = report.wait_summary
-        result.add_row(label, report.completed, report.makespan,
-                       wait.mean if wait else 0.0, requeues,
-                       f"{report.node_utilization:.3f}",
+    def row(label, m, requeues, goodput):
+        result.add_row(label, int(m["completed"]), m["makespan_seconds"],
+                       m["mean_wait_seconds"], requeues,
+                       f"{m['node_utilization']:.3f}",
                        f"{goodput:.4f}")
 
-    base_goodput = baseline.completed / n_jobs
-    row("baseline", baseline, 0, base_goodput)
-    row("chaos", faulted, res.jobs_requeued, res.goodput)
+    base_goodput = base["goodput"]
+    chaos_goodput = chaos.get("resilience_goodput", chaos["goodput"])
+    row("baseline", base, 0, base_goodput)
+    row("chaos", chaos, int(chaos.get("jobs_requeued", 0)),
+        chaos_goodput)
 
-    result.metrics["baseline_completed"] = float(baseline.completed)
-    result.metrics["chaos_completed"] = float(faulted.completed)
-    result.metrics["chaos_goodput"] = res.goodput
+    result.metrics["baseline_completed"] = base["completed"]
+    result.metrics["chaos_completed"] = chaos["completed"]
+    result.metrics["chaos_goodput"] = chaos_goodput
     result.metrics["goodput_vs_baseline"] = (
-        res.goodput / base_goodput if base_goodput else 0.0)
-    result.metrics["jobs_requeued"] = float(res.jobs_requeued)
-    result.metrics["tasks_retried"] = float(res.tasks_retried)
-    result.metrics["node_downtime_seconds"] = res.node_downtime
-    result.metrics["mttr_seconds"] = res.mttr
+        chaos_goodput / base_goodput if base_goodput else 0.0)
+    result.metrics["jobs_requeued"] = chaos.get("jobs_requeued", 0.0)
+    result.metrics["tasks_retried"] = chaos.get("tasks_retried", 0.0)
+    result.metrics["node_downtime_seconds"] = \
+        chaos.get("node_downtime_seconds", 0.0)
+    result.metrics["mttr_seconds"] = chaos.get("mttr_seconds", 0.0)
     result.metrics["makespan_stretch"] = (
-        faulted.makespan / baseline.makespan if baseline.makespan else 0.0)
+        chaos["makespan_seconds"] / base["makespan_seconds"]
+        if base["makespan_seconds"] else 0.0)
 
     result.notes.append(
-        f"chaos arm: {res.faults_injected} faults "
-        f"({', '.join(f'{k}:{n}' for k, n in sorted(res.faults_by_kind.items()))}); "
-        f"MTTR {res.mttr:.1f}s, downtime {res.node_downtime:.0f} "
+        f"chaos arm: {int(chaos.get('faults_injected', 0))} faults "
+        f"({faulted.info.get('fault_mix', '-')}); "
+        f"MTTR {chaos.get('mttr_seconds', 0.0):.1f}s, "
+        f"downtime {chaos.get('node_downtime_seconds', 0.0):.0f} "
         "node-seconds")
     result.notes.append(
         "identical trace + cluster + seed per arm; only the fault plan "
-        "differs (repro.faults)")
+        "differs (repro.faults, executed via repro.experiments.fleet)")
     return result

@@ -3,11 +3,20 @@
 Usage::
 
     python -m repro.experiments.runall [--full] [--only fig4,table3]
+        [--workers N] [--out DIR]
+
+``--workers`` fans experiments that execute through the sweep fleet
+(:mod:`repro.experiments.fleet`) out over worker processes; the rest
+ignore it.  ``--out`` persists every experiment in the fleet artifact
+layout (``DIR/runs/<exp_id>/{config,result,runstats}.json`` +
+``report.txt`` + ``COMPLETE``), so a battery run is self-describing the
+same way a sweep is.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -36,6 +45,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--only", default="",
                         help="comma-separated experiment names")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for fleet-backed "
+                             "experiments (default: serial)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="persist per-experiment artifact dirs "
+                             "under DIR (fleet layout)")
     args = parser.parse_args(argv)
     wanted = {w.strip() for w in args.only.split(",") if w.strip()}
 
@@ -45,9 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         if wanted and name not in wanted:
             continue
         mod = importlib.import_module(modpath)
+        kwargs = {"quick": not args.full, "seed": args.seed}
+        if "workers" in inspect.signature(mod.run).parameters:
+            kwargs["workers"] = args.workers
         t0 = time.time()
         try:
-            result = mod.run(quick=not args.full, seed=args.seed)
+            result = mod.run(**kwargs)
         except Exception as exc:  # keep the battery going
             print(f"[{name}] FAILED: {exc!r}", file=sys.stderr)
             failures += 1
@@ -57,6 +75,20 @@ def main(argv: list[str] | None = None) -> int:
         if result.metrics:
             print(compare_table(result))
         print(f"  (wall time {wall:.1f}s)\n")
+        if args.out:
+            from repro.experiments.fleet import artifacts
+            report_text = result.table()
+            if result.metrics:
+                report_text += "\n" + compare_table(result)
+            artifacts.write_experiment_run(
+                args.out, name,
+                config={"experiment": name, "module": modpath,
+                        "quick": not args.full, "seed": args.seed,
+                        "workers": kwargs.get("workers", 1)},
+                metrics=dict(result.metrics),
+                report_text=report_text + "\n",
+                runstats={"wall_seconds": wall},
+                info={"title": result.title})
     return 1 if failures else 0
 
 

@@ -15,6 +15,12 @@ The module is also runnable — ``python -m repro.slurm.cli <command>``:
   slurmctld/urd, and print the metrics report;
 * ``run`` submits ``#SBATCH``/``#NORNS`` batch scripts to a fresh
   cluster and prints the resulting accounting;
+* ``sweep`` expands a declarative sweep matrix (``--axis
+  policy=fifo,backfill --axis fault_profile=none,chaos ...``) and fans
+  the runs out over worker processes via the fleet runner
+  (:mod:`repro.experiments.fleet`), printing the merged cross-run
+  report; ``--out DIR`` persists per-run artifact directories and
+  ``--resume`` skips shards already COMPLETE in them;
 * ``policies`` lists the registered scheduling policies;
 * ``faults`` lists fault profiles, emits a seeded plan file, or
   describes an existing plan.
@@ -258,6 +264,101 @@ def _cmd_run(args) -> int:
     return 1 if failed else 0
 
 
+# -- sweep: sharded parallel sweeps via the fleet runner ----------------
+def _build_sweep_parser(sub) -> None:
+    p = sub.add_parser(
+        "sweep",
+        help="fan a sweep matrix out over worker processes",
+        description="Expand a declarative sweep matrix (cartesian "
+                    "product of --axis values) into per-run specs with "
+                    "deterministic per-shard seeding, execute them "
+                    "through the fleet dispatcher, and print the "
+                    "merged cross-run report.  Known axes: policy, "
+                    "fault_profile, workload, preset, nodes, seed; "
+                    "prefix arbitrary overrides with spec. / "
+                    "workload. / replay. (e.g. --axis "
+                    "spec.urd_workers=4,8).")
+    p.add_argument("--axis", action="append", default=[],
+                   metavar="NAME=V1,V2,...",
+                   help="one sweep axis (repeatable)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+    p.add_argument("--out", metavar="DIR", default="",
+                   help="write per-run artifact directories under DIR")
+    p.add_argument("--resume", action="store_true",
+                   help="skip runs already COMPLETE under --out")
+    p.add_argument("--preset", default="replay_scale", choices=_PRESETS,
+                   help="cluster preset each run builds")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="node count per run (a nodes axis overrides)")
+    p.add_argument("--jobs", type=int, default=80,
+                   help="synthesized jobs per run")
+    p.add_argument("--workload", default="",
+                   help="base workload preset (see repro.experiments"
+                        ".fleet.WORKLOAD_PRESETS)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed feeding per-shard derivation")
+    p.add_argument("--compression", type=float, default=1.0,
+                   help="time-compression factor on arrivals")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-run wall-clock budget in seconds "
+                        "(0 = none)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per run on worker crash/timeout")
+    p.set_defaults(func=_cmd_sweep)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.fleet import (
+        WORKLOAD_PRESETS, FleetRunner, SweepMatrix, make_dispatcher,
+        parse_axis,
+    )
+    from repro.errors import ReproError
+
+    if not args.axis:
+        raise SystemExit("sweep needs at least one --axis")
+    axes = {}
+    for arg in args.axis:
+        name, values = parse_axis(arg)
+        if name in axes:
+            raise SystemExit(f"duplicate --axis {name!r}")
+        axes[name] = values
+    workload = {"n_jobs": args.jobs}
+    if args.workload:
+        if args.workload not in WORKLOAD_PRESETS:
+            raise SystemExit(
+                f"unknown --workload {args.workload!r} (known: "
+                f"{', '.join(sorted(WORKLOAD_PRESETS))})")
+        workload.update(WORKLOAD_PRESETS[args.workload])
+        workload["n_jobs"] = args.jobs
+    replay = {}
+    if args.compression != 1.0:
+        replay["time_compression"] = args.compression
+    try:
+        matrix = SweepMatrix.from_axes(
+            axes, sweep_seed=args.seed, name="cli-sweep",
+            preset=args.preset, n_nodes=args.nodes,
+            workload=workload, replay=replay)
+        runner = FleetRunner(
+            matrix,
+            dispatcher=make_dispatcher(
+                workers=args.workers,
+                timeout=args.timeout or None,
+                retries=args.retries),
+            out_dir=args.out or None, resume=args.resume)
+        report = runner.run()
+    except ReproError as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+    if runner.resumed:
+        print(f"resumed {len(runner.resumed)} completed run(s) from "
+              f"{args.out}")
+    print(report.to_text())
+    if args.out:
+        print(f"artifacts under {args.out}/runs/ "
+              f"(merged report: {args.out}/fleet_report.txt)")
+    return 0
+
+
 # -- policies: registry listing -----------------------------------------
 def _build_policies_parser(sub) -> None:
     p = sub.add_parser(
@@ -395,6 +496,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _build_replay_parser(sub)
     _build_run_parser(sub)
+    _build_sweep_parser(sub)
     _build_policies_parser(sub)
     _build_faults_parser(sub)
     args = parser.parse_args(argv)

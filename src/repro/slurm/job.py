@@ -149,10 +149,14 @@ class JobSpec:
 class Job:
     """One submitted job instance tracked by slurmctld."""
 
+    #: fallback allocator for directly-constructed jobs (unit tests);
+    #: slurmctld passes an explicit id from its own per-instance
+    #: counter so replayed clusters never see process-history ids.
     _ids = itertools.count(1000)
 
-    def __init__(self, spec: JobSpec, submit_time: float) -> None:
-        self.job_id = next(Job._ids)
+    def __init__(self, spec: JobSpec, submit_time: float,
+                 job_id: Optional[int] = None) -> None:
+        self.job_id = next(Job._ids) if job_id is None else job_id
         self.spec = spec
         self.state = JobState.PENDING
         self.submit_time = submit_time

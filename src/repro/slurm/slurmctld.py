@@ -25,6 +25,7 @@ instead of rescanning every job per event.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -123,6 +124,11 @@ class Slurmctld:
                                     **(self.config.policy_options or {}))
         self.accounting = AccountingLog()
         self._jobs: Dict[int, Job] = {}
+        #: per-controller job-id allocator: ids are a pure function of
+        #: this cluster's submission history, not of how many other
+        #: simulations the process ran before (keeps run artifacts
+        #: byte-identical across serial / pooled sweep execution).
+        self._job_ids = itertools.count(1000)
         #: node -> reason for every drained / down node.
         self._drained: Dict[str, str] = {}
         self._down: Dict[str, str] = {}
@@ -144,7 +150,8 @@ class Slurmctld:
             raise SlurmError(
                 f"job wants {spec.nodes} nodes, partition has "
                 f"{len(self.slurmds)}")
-        job = Job(spec, submit_time=self.sim.now)
+        job = Job(spec, submit_time=self.sim.now,
+                  job_id=next(self._job_ids))
         job.done = self.sim.event(name=f"job:{job.job_id}:done")
         self._jobs[job.job_id] = job
         self.workflows.place_job(job)

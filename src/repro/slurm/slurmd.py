@@ -22,8 +22,10 @@ from repro.slurm.job import Job, StepContext
 
 __all__ = ["Slurmd"]
 
-#: Cluster-wide step pid allocator (pids are unique across nodes for
-#: bookkeeping simplicity; nothing depends on per-node pid spaces).
+#: Fallback step pid allocator for directly-constructed daemons (unit
+#: tests).  The cluster builder passes one shared per-cluster counter
+#: instead — pids stay unique across nodes (bookkeeping simplicity)
+#: but never depend on how many simulations the process ran before.
 _pids = itertools.count(10_000)
 
 
@@ -31,12 +33,13 @@ class Slurmd:
     """One compute node's Slurm daemon."""
 
     def __init__(self, sim: Simulator, node: str, hub: LocalSocketHub,
-                 urd: UrdDaemon, membus=None) -> None:
+                 urd: UrdDaemon, membus=None, pid_alloc=None) -> None:
         self.sim = sim
         self.node = node
         self.hub = hub
         self.urd = urd
         self.membus = membus
+        self._pids = pid_alloc if pid_alloc is not None else _pids
         self._root = Credentials(uid=0, gid=0)
 
     # -- NORNS access ------------------------------------------------------
@@ -87,7 +90,7 @@ class Slurmd:
 
     def _step(self, job: Job, rank: int):
         from repro.errors import Interrupted, NornsError
-        pid = next(_pids)
+        pid = next(self._pids)
         result = None
         failure = None
         norns_client = None

@@ -32,10 +32,15 @@ class WorkflowStatus(enum.Enum):
 class Workflow:
     """A DAG of jobs sharing one Workflow ID."""
 
+    #: fallback allocator for directly-constructed workflows; the
+    #: :class:`WorkflowManager` passes an explicit id from its own
+    #: per-instance counter so ids never depend on process history.
     _ids = itertools.count(1)
 
-    def __init__(self, first_job: Job) -> None:
-        self.workflow_id = next(Workflow._ids)
+    def __init__(self, first_job: Job,
+                 workflow_id: Optional[int] = None) -> None:
+        self.workflow_id = (next(Workflow._ids) if workflow_id is None
+                            else workflow_id)
         self.created_at = first_job.submit_time
         self._jobs: Dict[int, Job] = {}
         #: job_id -> set of prerequisite job_ids
@@ -139,6 +144,8 @@ class WorkflowManager:
         self._workflows: Dict[int, Workflow] = {}
         #: job_id -> workflow, for dependency resolution at submit time.
         self._job_to_wf: Dict[int, Workflow] = {}
+        #: per-manager workflow-id allocator (process-history-free).
+        self._ids = itertools.count(1)
 
     def workflow(self, workflow_id: int) -> Workflow:
         wf = self._workflows.get(workflow_id)
@@ -157,7 +164,7 @@ class WorkflowManager:
         """
         spec = job.spec
         if spec.workflow_start:
-            wf = Workflow(job)
+            wf = Workflow(job, workflow_id=next(self._ids))
             self._workflows[wf.workflow_id] = wf
             self._job_to_wf[job.job_id] = wf
             return wf

@@ -1,0 +1,349 @@
+"""The sweep fleet: seeding, expansion, dispatch, artifacts, CLI.
+
+The contract under test is byte-reproducibility: a fixed matrix + seed
+produces the identical merged :class:`FleetReport` — and identical
+per-run replay reports — whether the shards execute serially, over a
+process pool, over a pool in shuffled submission order, through the
+callback adapter, or resumed from a half-finished artifact directory.
+Worker crashes mid-sweep must retry and converge to the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.fleet import (
+    CallbackDispatcher, FleetError, FleetReport, FleetRunner,
+    ProcessPoolDispatcher, RunSpec, SerialDispatcher, SweepMatrix,
+    artifacts, child_seed, execute_run, make_dispatcher, measured_run,
+    parse_axis,
+)
+from repro.slurm.cli import main as cli_main
+
+#: small enough that the whole module stays in tier-1 budget; the
+#: pool tests re-execute it a few times.
+TINY = dict(n_jobs=16, arrival="poisson", mean_interarrival=10.0,
+            max_nodes=2, mean_runtime=120.0, staged_fraction=0.25,
+            stage_bytes_mean=1e9, stage_files=1)
+
+
+def tiny_matrix(**kw):
+    base = dict(sweep_seed=5, name="t", preset="small_test", n_nodes=4,
+                workload=TINY)
+    base.update(kw)
+    axes = base.pop("axes", {"policy": ["fifo", "backfill"],
+                             "fault_profile": ["none", "chaos"]})
+    return SweepMatrix.from_axes(axes, **base)
+
+
+def merged_text(matrix, results):
+    return FleetReport.merge(
+        results, name=matrix.name, sweep_seed=matrix.sweep_seed,
+        axis_names=matrix.axis_names).to_text()
+
+
+class TestChildSeed:
+    def test_empty_axes_is_identity(self):
+        assert child_seed(42, {}) == 42
+
+    def test_deterministic(self):
+        assert child_seed(7, {"seed": 3}) == child_seed(7, {"seed": 3})
+
+    def test_item_order_irrelevant(self):
+        a = {"seed": 3, "rep": 1}
+        b = {"rep": 1, "seed": 3}
+        assert child_seed(0, a) == child_seed(0, b)
+
+    def test_values_and_sweep_seed_perturb(self):
+        s = child_seed(0, {"seed": 3})
+        assert s != child_seed(0, {"seed": 4})
+        assert s != child_seed(1, {"seed": 3})
+
+    def test_independent_of_other_runs(self):
+        # The derivation sees only the run's own seed-axis values, so
+        # subsetting or growing the matrix never moves a run's seed.
+        big = tiny_matrix(axes={"seed": [1, 2, 3, 4]})
+        small = tiny_matrix(axes={"seed": [3]})
+        by_id = {s.run_id: s.seed for s in big.expand()}
+        (only,) = small.expand()
+        assert by_id[only.run_id] == only.seed
+
+
+class TestMatrix:
+    def test_expansion_is_cartesian_and_unique(self):
+        m = tiny_matrix()
+        specs = m.expand()
+        assert len(specs) == m.n_runs == 4
+        assert len({s.run_id for s in specs}) == 4
+
+    def test_config_axes_share_one_seed(self):
+        # policy/fault_profile are A/B arms: identical workload seed.
+        seeds = {s.seed for s in tiny_matrix().expand()}
+        assert seeds == {5}
+
+    def test_seed_axis_perturbs(self):
+        m = tiny_matrix(axes={"policy": ["fifo"], "seed": [1, 2]})
+        s1, s2 = m.expand()
+        assert s1.seed != s2.seed
+
+    def test_prefixed_override_axes(self):
+        m = tiny_matrix(axes={"workload.n_jobs": [8, 12],
+                              "spec.urd_workers": [2]})
+        specs = m.expand()
+        assert [dict(s.workload)["n_jobs"] for s in specs] == [8, 12]
+        assert dict(specs[0].spec_overrides)["urd_workers"] == 2
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ReproError):
+            tiny_matrix(axes={"bogus": [1]})
+        with pytest.raises(ReproError):
+            tiny_matrix(axes={"policy": []})
+
+    def test_parse_axis_coercion(self):
+        name, values = parse_axis("nodes=4,8.5,fifo")
+        assert name == "nodes"
+        assert values == (4, 8.5, "fifo")
+        with pytest.raises(ReproError):
+            parse_axis("nodes")
+        with pytest.raises(ReproError):
+            parse_axis("nodes=")
+
+    def test_describe_echoes_matrix(self):
+        d = tiny_matrix().describe()
+        assert d["n_runs"] == 4
+        assert d["seed_axes"] == ["seed"]
+        assert json.loads(json.dumps(d)) == d
+
+    def test_runspec_round_trips_through_json(self):
+        spec = tiny_matrix().expand()[0]
+        assert RunSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+class TestExecuteRun:
+    def test_pure_function_of_spec(self, tmp_path, monkeypatch):
+        spec = tiny_matrix().expand()[0]
+        first = execute_run(spec)
+        monkeypatch.chdir(tmp_path)    # cwd must not leak into a run
+        second = execute_run(spec)
+        assert first.report_text == second.report_text
+        assert first.metrics == second.metrics
+        assert first.job_metrics == second.job_metrics
+
+    def test_fault_arm_reports_resilience_metrics(self):
+        # "off" disarms the injector entirely; "chaos" fires faults.
+        specs = tiny_matrix(axes={"policy": ["fifo"],
+                                  "fault_profile": ["off", "chaos"]}
+                            ).expand()
+        clean = execute_run([s for s in specs
+                             if s.fault_profile == ""][0])
+        chaos = execute_run([s for s in specs
+                             if s.fault_profile == "chaos"][0])
+        assert "faults_injected" not in clean.metrics
+        assert chaos.metrics["faults_injected"] > 0
+        assert "fault_mix" in chaos.info
+
+    def test_measured_run_attaches_runstats(self):
+        res = measured_run(tiny_matrix().expand()[0])
+        assert res.runstats["wall_seconds"] >= 0.0
+        assert res.runstats["peak_rss_bytes"] > 0
+
+
+class TestDispatchers:
+    def test_serial_oracle_and_callback_agree(self):
+        m = tiny_matrix()
+        specs = m.expand()
+        serial = SerialDispatcher().run_all(specs)
+        cb = CallbackDispatcher(measured_run).run_all(specs)
+        assert merged_text(m, serial) == merged_text(m, cb)
+        assert [r.run_id for r in serial] == [s.run_id for s in specs]
+
+    def test_callback_rejects_non_result(self):
+        with pytest.raises(FleetError):
+            CallbackDispatcher(lambda spec: "nope").run_all(
+                tiny_matrix().expand())
+
+    def test_make_dispatcher_switches_on_workers(self):
+        assert isinstance(make_dispatcher(1), SerialDispatcher)
+        assert isinstance(make_dispatcher(3), ProcessPoolDispatcher)
+        with pytest.raises(ReproError):
+            ProcessPoolDispatcher(workers=0)
+
+    def test_pool_matches_serial_even_shuffled(self):
+        m = tiny_matrix()
+        specs = m.expand()
+        serial = SerialDispatcher().run_all(specs)
+        pool = ProcessPoolDispatcher(workers=2).run_all(specs)
+        shuffled_specs = list(specs)
+        random.Random(9).shuffle(shuffled_specs)
+        shuffled = ProcessPoolDispatcher(workers=2).run_all(
+            shuffled_specs)
+        assert merged_text(m, pool) == merged_text(m, serial)
+        assert merged_text(m, shuffled) == merged_text(m, serial)
+        by_id = {r.run_id: r for r in serial}
+        for res in pool + shuffled:
+            assert res.report_text == by_id[res.run_id].report_text
+            assert res.metrics == by_id[res.run_id].metrics
+
+    def test_worker_crash_retries_to_same_bytes(self, tmp_path,
+                                                monkeypatch):
+        m = tiny_matrix(axes={"policy": ["fifo", "backfill"]})
+        specs = m.expand()
+        serial = SerialDispatcher().run_all(specs)
+        crash_dir = tmp_path / "crash"
+        crash_dir.mkdir()
+        (crash_dir / f"{specs[0].run_id}.crash").write_text("die\n")
+        monkeypatch.setenv("REPRO_FLEET_CRASH_DIR", str(crash_dir))
+        pool = ProcessPoolDispatcher(workers=2).run_all(specs)
+        assert merged_text(m, pool) == merged_text(m, serial)
+        crashed = next(r for r in pool
+                       if r.run_id == specs[0].run_id)
+        assert crashed.runstats["attempts"] >= 2
+        assert not (crash_dir / f"{specs[0].run_id}.crash").exists()
+
+    def test_crash_budget_exhaustion_raises(self, tmp_path,
+                                            monkeypatch):
+        m = tiny_matrix(axes={"policy": ["fifo"]})
+        (spec,) = m.expand()
+        crash_dir = tmp_path / "crash"
+        crash_dir.mkdir()
+        marker = crash_dir / f"{spec.run_id}.crash"
+        monkeypatch.setenv("REPRO_FLEET_CRASH_DIR", str(crash_dir))
+
+        calls = {"n": 0}
+        real_unlink = os.unlink
+
+        def sticky_unlink(path, *a, **kw):
+            # Re-arm the marker consumed by the dying worker so every
+            # attempt crashes and the retry budget runs dry.
+            real_unlink(path, *a, **kw)
+            if str(path) == str(marker):
+                calls["n"] += 1
+                marker.write_text("again\n")
+
+        marker.write_text("die\n")
+        monkeypatch.setattr(os, "unlink", sticky_unlink)
+        try:
+            with pytest.raises(FleetError, match="crashed"):
+                ProcessPoolDispatcher(workers=1, retries=1,
+                                      warm_up=False).run_all([spec])
+        finally:
+            monkeypatch.setattr(os, "unlink", real_unlink)
+            if marker.exists():
+                marker.unlink()
+
+
+class TestRunnerArtifacts:
+    def test_artifact_layout_and_fleet_summary(self, tmp_path):
+        m = tiny_matrix(axes={"policy": ["fifo", "backfill"]})
+        runner = FleetRunner(m, out_dir=tmp_path)
+        report = runner.run()
+        for spec in m.expand():
+            d = tmp_path / "runs" / spec.run_id
+            for name in ("config.json", "result.json", "metrics.jsonl",
+                         "report.txt", "runstats.json", "COMPLETE"):
+                assert (d / name).exists(), name
+            cfg = json.loads((d / "config.json").read_text())
+            assert RunSpec.from_dict(cfg) == spec
+            lines = (d / "metrics.jsonl").read_text().splitlines()
+            assert len(lines) == TINY["n_jobs"]
+        assert (tmp_path / "fleet_report.txt").read_text() \
+            == report.to_text()
+        fleet = json.loads((tmp_path / "fleet.json").read_text())
+        assert fleet["matrix"]["n_runs"] == 2
+        assert artifacts.completed_runs(tmp_path) \
+            == sorted(s.run_id for s in m.expand())
+
+    def test_resume_skips_complete_and_refills_gaps(self, tmp_path):
+        import shutil
+        m = tiny_matrix(axes={"policy": ["fifo", "backfill"]})
+        baseline = FleetRunner(m, out_dir=tmp_path).run()
+        victim = m.expand()[0].run_id
+        shutil.rmtree(tmp_path / "runs" / victim)
+
+        runner = FleetRunner(m, out_dir=tmp_path, resume=True)
+        resumed_report = runner.run()
+        assert runner.resumed == [s.run_id for s in m.expand()[1:]]
+        assert resumed_report.to_text() == baseline.to_text()
+        assert artifacts.is_complete(tmp_path, victim)
+
+        # Loaded results are flagged so runstats provenance is honest.
+        loaded = artifacts.load_run(tmp_path, victim)
+        assert loaded.runstats["loaded_from_artifact"]
+
+    def test_half_written_dir_is_not_resumable(self, tmp_path):
+        m = tiny_matrix(axes={"policy": ["fifo"]})
+        (spec,) = m.expand()
+        d = tmp_path / "runs" / spec.run_id
+        d.mkdir(parents=True)
+        (d / "result.json").write_text("{}")   # no COMPLETE marker
+        assert not artifacts.is_complete(tmp_path, spec.run_id)
+        with pytest.raises(ReproError):
+            artifacts.load_run(tmp_path, spec.run_id)
+
+    def test_write_experiment_run_layout(self, tmp_path):
+        d = artifacts.write_experiment_run(
+            tmp_path, "expX", config={"quick": True},
+            metrics={"m": 1.0}, report_text="report\n",
+            runstats={"wall_seconds": 0.1}, info={"title": "t"})
+        assert (d / "COMPLETE").exists()
+        payload = json.loads((d / "result.json").read_text())
+        assert payload["metrics"] == {"m": 1.0}
+        assert "expX" in artifacts.completed_runs(tmp_path)
+
+
+class TestReport:
+    def test_merge_rejects_duplicates(self):
+        m = tiny_matrix(axes={"policy": ["fifo"]})
+        res = SerialDispatcher().run_all(m.expand())
+        with pytest.raises(ReproError):
+            FleetReport.merge(res + res, name=m.name,
+                              sweep_seed=m.sweep_seed,
+                              axis_names=m.axis_names)
+
+    def test_text_is_free_of_wall_clock(self):
+        m = tiny_matrix(axes={"policy": ["fifo"]})
+        report = FleetReport.merge(
+            SerialDispatcher().run_all(m.expand()), name=m.name,
+            sweep_seed=m.sweep_seed, axis_names=m.axis_names)
+        text = report.to_text()
+        assert "wall" not in text and "rss" not in text.lower()
+
+    def test_rows_sorted_numerically_not_lexically(self):
+        m = tiny_matrix(axes={"nodes": [2, 10, 4]},
+                        workload=dict(TINY, n_jobs=6))
+        report = FleetReport.merge(
+            SerialDispatcher().run_all(m.expand()), name=m.name,
+            sweep_seed=m.sweep_seed, axis_names=m.axis_names)
+        order = [dict(r.axes)["nodes"] for r in report.results]
+        assert order == ["2", "4", "10"]
+
+
+class TestSweepCli:
+    def test_sweep_end_to_end_with_resume(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        argv = ["sweep", "--axis", "policy=fifo,backfill",
+                "--preset", "small_test", "--nodes", "4",
+                "--jobs", "12", "--out", str(out)]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().out
+        assert "policy" in first and "fifo" in first
+        assert (out / "fleet_report.txt").exists()
+
+        assert cli_main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed 2 completed run(s)" in second
+        assert first.splitlines()[-2] in second  # same merged table
+
+    def test_sweep_requires_axis(self):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep"])
+
+    def test_sweep_rejects_bad_axis(self):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--axis", "bogus=1"])
