@@ -56,7 +56,9 @@ class Condition(Event):
         self._done += 1
         self._fired[ev] = ev.value
         if self._done >= self._need:
-            self.succeed(dict(self._fired))
+            # Safe to hand out without copying: _check bails on a
+            # triggered condition, so _fired is frozen from here on.
+            self.succeed(self._fired)
 
 
 def all_of(sim: Simulator, events: Iterable[Event]) -> Condition:

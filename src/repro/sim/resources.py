@@ -20,7 +20,7 @@ from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import SimError
-from repro.sim.core import Event, Simulator
+from repro.sim.core import PENDING, Event, Simulator, _new_event
 
 __all__ = ["Resource", "Store", "Container"]
 
@@ -42,6 +42,7 @@ class Resource:
         self._request_name = self.name + ":request"
         self._in_use = 0
         self._waiters: deque[Event] = deque()
+        self._cancelled = 0  # triggered entries still parked in _waiters
 
     @property
     def in_use(self) -> int:
@@ -49,13 +50,13 @@ class Resource:
 
     @property
     def queue_len(self) -> int:
-        return len(self._waiters)
+        return len(self._waiters) - self._cancelled
 
     def request(self) -> Event:
-        ev = self.sim.event(name=self._request_name)
+        ev = Event(self.sim, self._request_name)
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed(self)
+            self.sim._post_now(ev, self)
         else:
             self._waiters.append(ev)
         return ev
@@ -67,19 +68,29 @@ class Resource:
         while self._waiters:
             ev = self._waiters.popleft()
             if ev.triggered:  # cancelled waiter
+                self._cancelled -= 1
                 continue
-            ev.succeed(self)
+            self.sim._post_now(ev, self)
             return
         self._in_use -= 1
 
     def cancel(self, request_event: Event) -> None:
-        """Withdraw a pending request (e.g. after an any_of timeout)."""
+        """Withdraw a pending request (e.g. after an any_of timeout).
+
+        Lazy, mirroring the kernel's cancellable timeouts: the entry
+        stays parked in the wait queue (``release()`` skips triggered
+        waiters in O(1)) instead of paying a ``deque.remove`` scan per
+        cancel, and the queue is swept once cancelled entries outnumber
+        live ones.
+        """
         if not request_event.triggered:
             request_event.fail(SimError("request cancelled"))
-            try:
-                self._waiters.remove(request_event)
-            except ValueError:
-                pass
+            self._cancelled = c = self._cancelled + 1
+            if c > 16 and 2 * c > len(self._waiters):
+                live = [ev for ev in self._waiters if not ev.triggered]
+                self._waiters.clear()
+                self._waiters.extend(live)
+                self._cancelled = 0
 
 
 class Store:
@@ -135,20 +146,36 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Insert ``item``; blocks (pending event) when full."""
-        ev = self.sim.event(name=self._put_name)
+        # Inlined Event construction: puts/gets run once per message
+        # hop (urd task queues, socket mailboxes) — hot at replay scale.
+        ev = _new_event(Event)
+        ev.sim = self.sim
+        ev.name = self._put_name
+        ev.callbacks = None
+        ev._value = None
+        ev._ok = None
+        ev._state = PENDING
+        ev._defunct = False
         if self.capacity is not None and len(self) >= self.capacity:
             self._putters.append((ev, item))
             return ev
         self._do_put(item)
-        ev.succeed()
+        self.sim._post_now(ev, None)
         self._wake_getter()
         return ev
 
     def get(self) -> Event:
         """Remove and return the next item; blocks when empty."""
-        ev = self.sim.event(name=self._get_name)
+        ev = _new_event(Event)
+        ev.sim = self.sim
+        ev.name = self._get_name
+        ev.callbacks = None
+        ev._value = None
+        ev._ok = None
+        ev._state = PENDING
+        ev._defunct = False
         if len(self):
-            ev.succeed(self._do_get())
+            self.sim._post_now(ev, self._do_get())
             self._admit_putter()
         else:
             self._getters.append(ev)
@@ -180,7 +207,7 @@ class Store:
             ev = self._getters.popleft()
             if ev.triggered:
                 continue
-            ev.succeed(self._do_get())
+            self.sim._post_now(ev, self._do_get())
             self._admit_putter()
 
     def _admit_putter(self) -> None:
@@ -191,7 +218,7 @@ class Store:
             if ev.triggered:
                 continue
             self._do_put(item)
-            ev.succeed()
+            self.sim._post_now(ev, None)
             self._wake_getter()
 
 
@@ -213,6 +240,9 @@ class Container:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "container"
+        # Static labels, as in Store: puts/gets are per-transfer hot.
+        self._put_name = self.name + ":put"
+        self._get_name = self.name + ":get"
         self._level = float(init)
         self._getters: deque[tuple[Event, float]] = deque()
         self._putters: deque[tuple[Event, float]] = deque()
@@ -224,7 +254,7 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount < 0:
             raise SimError(f"negative put {amount}")
-        ev = self.sim.event(name=f"{self.name}:put")
+        ev = Event(self.sim, self._put_name)
         self._putters.append((ev, amount))
         self._settle()
         return ev
@@ -234,7 +264,7 @@ class Container:
             raise SimError(f"negative get {amount}")
         if amount > self.capacity:
             raise SimError(f"get {amount} exceeds capacity {self.capacity}")
-        ev = self.sim.event(name=f"{self.name}:get")
+        ev = Event(self.sim, self._get_name)
         self._getters.append((ev, amount))
         self._settle()
         return ev
@@ -251,7 +281,7 @@ class Container:
                 if self._level + amount <= self.capacity:
                     self._putters.popleft()
                     self._level += amount
-                    ev.succeed()
+                    self.sim._post_now(ev, None)
                     moved = True
                 else:
                     break
@@ -263,7 +293,7 @@ class Container:
                 if amount <= self._level:
                     self._getters.popleft()
                     self._level -= amount
-                    ev.succeed()
+                    self.sim._post_now(ev, None)
                     moved = True
                 else:
                     break

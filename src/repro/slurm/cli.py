@@ -149,6 +149,9 @@ def _build_replay_parser(sub) -> None:
     p.add_argument("--save-trace", metavar="FILE",
                    help="also write the (synthesized) trace to FILE "
                         "(.swf or .jsonl)")
+    p.add_argument("--perf", action="store_true",
+                   help="append the event-kernel counter footer "
+                        "(dispatches, defunct skips, compactions)")
     _add_fault_options(p, with_profile=True)
     p.set_defaults(func=_cmd_replay)
 
@@ -188,7 +191,7 @@ def _cmd_replay(args) -> int:
                      scheduler=args.scheduler,
                      fault_plan=plan))
     report = replayer.run()
-    print(report.to_text())
+    print(report.to_text(perf=args.perf))
     return 0 if report.completed == trace.n_jobs else 1
 
 

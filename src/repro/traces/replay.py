@@ -128,6 +128,10 @@ class ReplayReport:
     #: present only when the replay injected at least one fault, so
     #: zero-fault reports stay byte-identical to the golden layout.
     resilience: Optional[object] = None
+    #: event-kernel counters (:meth:`Simulator.stats`), captured at
+    #: finalize time.  Rendered only by ``to_text(perf=True)`` so the
+    #: golden replay layout stays byte-identical across kernels.
+    kernel_stats: Optional[Dict[str, object]] = None
     metrics: List[JobMetric] = field(default_factory=list)
     state_counts: Dict[str, int] = field(default_factory=dict)
     makespan: float = 0.0
@@ -184,12 +188,14 @@ class ReplayReport:
                               and m.eta_error is not None])
 
     # -- rendering -------------------------------------------------------
-    def to_text(self) -> str:
+    def to_text(self, perf: bool = False) -> str:
         """Deterministic plain-text report (no wall-clock content).
 
         The POLICY column appears only when a policy was explicitly
         selected, keeping default-policy output byte-stable across the
-        scheduling-engine refactor.
+        scheduling-engine refactor.  ``perf=True`` appends an
+        event-kernel footer (dispatch counters, compactions) — off by
+        default so golden files stay byte-identical under both kernels.
         """
         headers = ["TRACE", "JOBS", "NODES", "COMPRESSION", "BATCH-WINDOW"]
         row = [self.trace_name, self.n_jobs, self.n_nodes,
@@ -229,6 +235,12 @@ class ReplayReport:
             parts.append(render_table(("metric", "value"),
                                       self.resilience.rows(),
                                       title="resilience"))
+        if perf and self.kernel_stats is not None:
+            parts.append(render_table(
+                ("counter", "value"),
+                [(k, self.kernel_stats[k])
+                 for k in sorted(self.kernel_stats)],
+                title="event kernel"))
         return "\n\n".join(parts) + "\n"
 
     def __str__(self) -> str:
@@ -500,6 +512,7 @@ class TraceReplayer:
             moved = sum(r.bytes_staged_in for r in records if r) \
                 + self._produced_bytes
             report.nvm_capacity_turnover = moved / (nvm_capacity * n_nodes)
+        report.kernel_stats = self.sim.stats()
 
 
 def _rank0_consume(nsid: str, directory: str, n_files: int):

@@ -305,9 +305,9 @@ class TestCorruption:
 class TestInjectorLifecycle:
     def test_zero_fault_plan_schedules_nothing(self):
         h = build(small_test(2), seed=0)
-        before = len(h.sim._heap)
+        before = h.sim.stats()["pending"]
         inj = FaultInjector(h, FaultPlan(name="none")).start()
-        assert len(h.sim._heap) == before
+        assert h.sim.stats()["pending"] == before
         assert inj.stats.faults_injected == 0
 
     def test_stop_cancels_pending_faults(self):

@@ -165,3 +165,17 @@ class TestDeterminism:
         _h1, r1 = replay(trace, seed=1)
         _h2, r2 = replay(trace, seed=2)
         assert r1.completed == r2.completed == 10
+
+
+class TestKernelStatsFooter:
+    def test_perf_footer_is_opt_in(self):
+        trace = small_synth(n_jobs=5, seed=3)
+        _h, report = replay(trace)
+        assert report.kernel_stats is not None
+        assert report.kernel_stats["events"] > 0
+        plain = report.to_text()
+        assert "event kernel" not in plain
+        perf = report.to_text(perf=True)
+        assert perf.startswith(plain[:-1])  # footer only appends
+        assert "event kernel" in perf
+        assert "defunct_skips" in perf
