@@ -192,6 +192,12 @@ def execute_run(spec: RunSpec) -> RunResult:
         metrics["resilience_goodput"] = res.goodput
         info["fault_mix"] = ", ".join(
             f"{k}:{n}" for k, n in sorted(res.faults_by_kind.items()))
+    ckpt = report.checkpoints
+    if ckpt is not None:
+        metrics["ckpt_epochs_marked"] = float(ckpt.epochs_marked)
+        metrics["ckpt_epochs_resumed"] = float(ckpt.epochs_resumed)
+        metrics["ckpt_invalidated"] = float(ckpt.invalidated)
+        metrics["ckpt_stages_cleaned"] = float(ckpt.stages_cleaned)
 
     job_rows = [dataclasses.asdict(m) for m in report.metrics]
     return RunResult(run_id=spec.run_id, axes=spec.axes, seed=spec.seed,

@@ -35,6 +35,7 @@ REGISTRY = (
     ("replay", "repro.experiments.trace_replay"),
     ("policies", "repro.experiments.policy_ab"),
     ("resilience", "repro.experiments.resilience"),
+    ("checkpoint_sweep", "repro.experiments.checkpoint_sweep"),
 )
 
 

@@ -62,6 +62,9 @@ class ResilienceStats:
     #: fraction of jobs that still completed (goodput vs. the
     #: same-seed zero-fault baseline's completed fraction).
     goodput: float = 0.0
+    #: checkpoint artifacts destroyed by transfer corruption (only
+    #: non-zero when a CheckpointStore is attached to the controller).
+    checkpoints_invalidated: int = 0
 
     @property
     def mttr(self) -> float:
@@ -89,7 +92,8 @@ class ResilienceStats:
             ("node downtime s", f"{self.node_downtime:.3f}"),
             ("MTTR s", f"{self.mttr:.3f}"),
             ("goodput", f"{self.goodput:.4f}"),
-        ]
+        ] + ([("checkpoints invalidated", self.checkpoints_invalidated)]
+             if self.checkpoints_invalidated else [])
 
 
 class FaultInjector:
@@ -240,6 +244,12 @@ class FaultInjector:
     def _do_transfer_corrupt(self, rec: FaultRecord) -> None:
         self.handle.nodes[rec.target].urd.inject_corruption(
             int(rec.magnitude))
+        # Data corruption also eats the most recent checkpoint artifact
+        # when a store is attached: the hit stage drops back into the
+        # lost frontier (or resumes from an earlier epoch).
+        store = getattr(self.handle.ctld, "checkpoints", None)
+        if store is not None and store.invalidate_latest() is not None:
+            self.stats.checkpoints_invalidated += 1
 
     # -- aggregation -------------------------------------------------------
     def finalize(self, completed_jobs: int = 0,

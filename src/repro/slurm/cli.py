@@ -15,6 +15,10 @@ The module is also runnable — ``python -m repro.slurm.cli <command>``:
   slurmctld/urd, and print the metrics report;
 * ``run`` submits ``#SBATCH``/``#NORNS`` batch scripts to a fresh
   cluster and prints the resulting accounting;
+* ``workflows`` runs a named DAG pipeline (:mod:`repro.workflows`)
+  with per-stage checkpoint/restart (``--checkpoint-interval`` /
+  ``--checkpoint-bytes``), optionally under a fault plan or profile,
+  and prints the round-by-round recovery report;
 * ``sweep`` expands a declarative sweep matrix (``--axis
   policy=fifo,backfill --axis fault_profile=none,chaos ...``) and fans
   the runs out over worker processes via the fleet runner
@@ -152,6 +156,7 @@ def _build_replay_parser(sub) -> None:
     p.add_argument("--perf", action="store_true",
                    help="append the event-kernel counter footer "
                         "(dispatches, defunct skips, compactions)")
+    _add_checkpoint_options(p)
     _add_fault_options(p, with_profile=True)
     p.set_defaults(func=_cmd_replay)
 
@@ -168,7 +173,10 @@ def _load_or_synthesize(args):
         n_jobs=args.synth, arrival=args.arrival,
         mean_interarrival=args.interarrival,
         staged_fraction=args.staged_fraction,
-        stage_bytes_mean=args.stage_bytes)
+        stage_bytes_mean=args.stage_bytes,
+        # A checkpoint interval is only meaningful if the synthesized
+        # workflow jobs are flagged resumable.
+        checkpoint_workflows=args.checkpoint_interval > 0)
     return synthesize(cfg, seed=args.seed)
 
 
@@ -189,6 +197,8 @@ def _cmd_replay(args) -> int:
                      batch_window=args.batch_window,
                      runtime_scale=args.runtime_scale,
                      scheduler=args.scheduler,
+                     checkpoint_interval=args.checkpoint_interval,
+                     checkpoint_bytes=args.checkpoint_bytes,
                      fault_plan=plan))
     report = replayer.run()
     print(report.to_text(perf=args.perf))
@@ -265,6 +275,77 @@ def _cmd_run(args) -> int:
         print(f"job {job.job_id} ({job.spec.name}): {job.state.value}"
               f"{' - ' + job.reason if job.reason else ''}")
     return 1 if failed else 0
+
+
+# -- workflows: checkpointed DAG pipelines ------------------------------
+def _build_workflows_parser(sub) -> None:
+    p = sub.add_parser(
+        "workflows",
+        help="run a checkpointed DAG pipeline through the cluster",
+        description="Build a named DAG pipeline (repro.workflows), run "
+                    "it through a simulated cluster with per-stage "
+                    "checkpoint/restart, and print the round-by-round "
+                    "recovery report.  With --checkpoint-interval 0 "
+                    "checkpointing is off and any fault forces a full "
+                    "pipeline replay.")
+    p.add_argument("--pipeline", default="diamond",
+                   choices=("diamond", "deep-chain"),
+                   help="pipeline shape to build")
+    p.add_argument("--depth", type=int, default=6,
+                   help="stage count for --pipeline deep-chain")
+    p.add_argument("--runtime", type=float, default=64.0,
+                   help="base stage runtime in virtual seconds")
+    p.add_argument("--preset", default="small_test", choices=_PRESETS,
+                   help="cluster preset to build")
+    p.add_argument("--nodes", type=int, default=0,
+                   help="override the preset's node count")
+    _add_scheduler_option(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-rounds", type=int, default=8,
+                   help="resubmission rounds before giving up")
+    _add_checkpoint_options(p)
+    _add_fault_options(p, with_profile=True)
+    p.set_defaults(func=_cmd_workflows)
+
+
+def _cmd_workflows(args) -> int:
+    from repro.workflows import (
+        PipelineConfig, PipelineEngine, deep_chain, diamond,
+    )
+    if args.pipeline == "diamond":
+        pipeline = diamond(runtime=args.runtime)
+    else:
+        pipeline = deep_chain(args.depth, runtime=args.runtime)
+    handle = _build_preset(args)
+    injector = None
+    profile = args.fault_profile or handle.spec.fault_profile
+    if args.faults or profile:
+        from repro.faults import FaultInjector, fault_profile, load_plan
+        if args.faults:
+            plan = load_plan(args.faults)
+        else:
+            horizon = max(300.0, 4 * pipeline.total_runtime)
+            plan = fault_profile(profile, horizon=horizon,
+                                 nodes=handle.node_names,
+                                 seed=args.seed)
+        injector = FaultInjector(handle, plan)
+        handle.ctld.config.requeue_on_failure = True
+        injector.start()
+    engine = PipelineEngine(
+        handle, pipeline,
+        PipelineConfig(checkpoint_interval=args.checkpoint_interval,
+                       checkpoint_bytes=args.checkpoint_bytes,
+                       max_rounds=args.max_rounds))
+    report = engine.run()
+    if injector is not None:
+        injector.stop()
+        done = {s for rnd in report.rounds for s in rnd.completed}
+        stats = injector.finalize(completed_jobs=len(done),
+                                  total_jobs=report.n_stages)
+        print(render_table(("metric", "value"), stats.rows(),
+                           title="resilience"))
+    print(report.to_text())
+    return 0 if report.completed else 1
 
 
 # -- sweep: sharded parallel sweeps via the fleet runner ----------------
@@ -438,6 +519,18 @@ def _cmd_faults(args) -> int:
 
 
 # -- shared helpers ------------------------------------------------------
+def _add_checkpoint_options(p) -> None:
+    p.add_argument("--checkpoint-interval", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="checkpoint epoch length in virtual seconds "
+                        "(0 = no checkpointing; requeued work then "
+                        "recomputes from scratch)")
+    p.add_argument("--checkpoint-bytes", type=int, default=0,
+                   metavar="BYTES",
+                   help="PFS payload written per checkpoint epoch "
+                        "(0 = markers only, zero data cost)")
+
+
 def _add_fault_options(p, with_profile: bool) -> None:
     p.add_argument("--faults", metavar="PLAN", default="",
                    help="JSONL fault plan to inject (see the 'faults' "
@@ -499,6 +592,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _build_replay_parser(sub)
     _build_run_parser(sub)
+    _build_workflows_parser(sub)
     _build_sweep_parser(sub)
     _build_policies_parser(sub)
     _build_faults_parser(sub)

@@ -116,6 +116,18 @@ class JobSpec:
     workflow_start: bool = False
     workflow_end: bool = False
     workflow_prior_dependency: Optional[int] = None
+    #: fan-in prerequisites (job ids): the job waits for *all* of them;
+    #: combined with ``workflow_prior_dependency`` when both are set.
+    workflow_dependencies: tuple[int, ...] = ()
+    #: attach to the workflow containing this job id *without* depending
+    #: on it — an extra DAG root (checkpoint recovery resubmits surviving
+    #: roots of a partially-completed workflow this way).
+    workflow_join: Optional[int] = None
+    #: checkpoint identity: the stage key the job reports its epoch
+    #: progress under in the controller's attached
+    #: :class:`~repro.workflows.checkpoint.CheckpointStore` ("" = the
+    #: job does not checkpoint).
+    checkpoint_key: str = ""
     # data directives
     stage_in: tuple[StageDirective, ...] = ()
     stage_out: tuple[StageDirective, ...] = ()
@@ -143,7 +155,9 @@ class JobSpec:
     @property
     def in_workflow(self) -> bool:
         return (self.workflow_start or self.workflow_end
-                or self.workflow_prior_dependency is not None)
+                or self.workflow_prior_dependency is not None
+                or bool(self.workflow_dependencies)
+                or self.workflow_join is not None)
 
 
 class Job:

@@ -123,6 +123,10 @@ class Slurmctld:
         self.policy = create_policy(self.config.resolved_policy(),
                                     **(self.config.policy_options or {}))
         self.accounting = AccountingLog()
+        #: optional attached CheckpointStore (see repro.workflows):
+        #: the failure path consults it to clean partial stage
+        #: artifacts and annotate checkpoint-aware requeues.
+        self.checkpoints = None
         self._jobs: Dict[int, Job] = {}
         #: per-controller job-id allocator: ids are a pure function of
         #: this cluster's submission history, not of how many other
@@ -433,6 +437,11 @@ class Slurmctld:
         job.requeues += 1
         rec.requeues += 1
         rec.warnings.append(f"requeue #{job.requeues}: {reason}")
+        if self.checkpoints is not None and job.spec.checkpoint_key:
+            resume = self.checkpoints.resume_epoch(job.spec.checkpoint_key)
+            if resume:
+                rec.warnings.append(
+                    f"checkpoint: will resume at epoch {resume}")
         if self.config.staging_enabled and (job.spec.stage_in
                                             or job.spec.stage_out):
             # Partially staged data is re-staged on the next attempt.
@@ -569,9 +578,17 @@ class Slurmctld:
             wf = self.workflows.workflow(job.workflow_id)
             for cancelled in wf.cancel_dependents(job.job_id):
                 self.state.dequeue(cancelled)
+                self._clear_partial_checkpoints(cancelled)
                 self._finish_accounting(cancelled)
+        self._clear_partial_checkpoints(job)
         self._finish_accounting(job)
         self._kick()
+
+    def _clear_partial_checkpoints(self, job: Job) -> None:
+        """A terminally failed / cancelled checkpointing stage leaves no
+        partial artifacts behind — only completed stages stay durable."""
+        if self.checkpoints is not None and job.spec.checkpoint_key:
+            self.checkpoints.clear_partial(job.spec.checkpoint_key)
 
     def _release(self, job: Job):
         """Tracked-dataspace check, unregister, free the nodes."""

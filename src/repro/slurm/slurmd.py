@@ -104,13 +104,22 @@ class Slurmd:
             ctx = StepContext(self.sim, job, self.node, rank,
                               self.resolve_backend, norns_client,
                               membus=self.membus)
+            prog = None
             try:
                 if job.spec.program is not None:
-                    result = yield self.sim.process(
+                    prog = self.sim.process(
                         job.spec.program(ctx),
                         name=f"prog:{job.job_id}:{self.node}")
+                    result = yield prog
             except Interrupted:
-                failure = None  # preempted by slurmctld (timeout/cancel)
+                # Preempted by slurmctld (timeout/cancel/requeue): the
+                # program must die with its step — a surviving zombie
+                # would keep computing and writing (and, for
+                # checkpointing jobs, keep marking epochs) after the
+                # job was already knocked off the node.
+                failure = None
+                if prog is not None and prog.is_alive:
+                    prog.interrupt("step torn down")
             except Exception as exc:
                 failure = exc
             norns_client.close()

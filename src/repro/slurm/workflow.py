@@ -14,7 +14,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Union
 
 from repro.errors import InvalidDependency, UnknownWorkflow
 from repro.slurm.job import Job, JobState
@@ -30,17 +30,15 @@ class WorkflowStatus(enum.Enum):
 
 
 class Workflow:
-    """A DAG of jobs sharing one Workflow ID."""
+    """A DAG of jobs sharing one Workflow ID.
 
-    #: fallback allocator for directly-constructed workflows; the
-    #: :class:`WorkflowManager` passes an explicit id from its own
-    #: per-instance counter so ids never depend on process history.
-    _ids = itertools.count(1)
+    Ids always come from the owning :class:`WorkflowManager`'s
+    per-instance counter, so workflow ids are a pure function of the
+    controller's submission history, never of process history.
+    """
 
-    def __init__(self, first_job: Job,
-                 workflow_id: Optional[int] = None) -> None:
-        self.workflow_id = (next(Workflow._ids) if workflow_id is None
-                            else workflow_id)
+    def __init__(self, first_job: Job, workflow_id: int) -> None:
+        self.workflow_id = workflow_id
         self.created_at = first_job.submit_time
         self._jobs: Dict[int, Job] = {}
         #: job_id -> set of prerequisite job_ids
@@ -54,14 +52,30 @@ class Workflow:
     def job(self, job_id: int) -> Job:
         return self._jobs[job_id]
 
-    def add_job(self, job: Job, prior: Optional[int] = None) -> None:
-        """Attach a job; ``prior`` references the dependency job id."""
+    def add_job(self, job: Job,
+                prior: Optional[Union[int, Iterable[int]]] = None) -> None:
+        """Attach a job; ``prior`` names its prerequisite job id(s).
+
+        A single int keeps the historical linear-chain signature; an
+        iterable of ids declares fan-in (the job waits for *all* of
+        them).  Every prerequisite must already be part of this
+        workflow, and the resulting graph must stay acyclic.
+        """
+        if prior is None:
+            prior_ids: tuple[int, ...] = ()
+        elif isinstance(prior, int):
+            prior_ids = (prior,)
+        else:
+            prior_ids = tuple(prior)
         deps: set[int] = set()
-        if prior is not None:
-            if prior not in self._jobs:
+        for dep in prior_ids:
+            if dep == job.job_id:
                 raise InvalidDependency(
-                    f"job {prior} is not part of workflow {self.workflow_id}")
-            deps.add(prior)
+                    f"job {job.job_id} cannot depend on itself")
+            if dep not in self._jobs:
+                raise InvalidDependency(
+                    f"job {dep} is not part of workflow {self.workflow_id}")
+            deps.add(dep)
         self._jobs[job.job_id] = job
         self._deps[job.job_id] = deps
         job.workflow_id = self.workflow_id
@@ -159,22 +173,48 @@ class WorkflowManager:
     def place_job(self, job: Job) -> Optional[Workflow]:
         """Route a submitted job into the right workflow (or none).
 
-        ``workflow-start`` opens a new workflow; a prior-dependency
-        attaches to the dependency's workflow; plain jobs stay outside.
+        ``workflow-start`` opens a new workflow; declared dependencies
+        (the legacy single ``workflow_prior_dependency`` and/or the
+        fan-in ``workflow_dependencies`` tuple) attach the job to the
+        dependencies' workflow; ``workflow_join`` attaches a
+        dependency-free job (an extra DAG root) to the workflow of an
+        already-placed sibling; plain jobs stay outside.
         """
         spec = job.spec
+        deps = tuple(spec.workflow_dependencies)
+        if spec.workflow_prior_dependency is not None \
+                and spec.workflow_prior_dependency not in deps:
+            deps += (spec.workflow_prior_dependency,)
         if spec.workflow_start:
             wf = Workflow(job, workflow_id=next(self._ids))
             self._workflows[wf.workflow_id] = wf
             self._job_to_wf[job.job_id] = wf
             return wf
-        if spec.workflow_prior_dependency is not None:
-            prior = spec.workflow_prior_dependency
-            wf = self._job_to_wf.get(prior)
+        if deps:
+            owners = []
+            for dep in deps:
+                wf = self._job_to_wf.get(dep)
+                if wf is None:
+                    raise InvalidDependency(
+                        f"dependency job {dep} is not part of any workflow")
+                if wf not in owners:
+                    owners.append(wf)
+            if len(owners) > 1:
+                ids = ", ".join(str(w.workflow_id) for w in owners)
+                raise InvalidDependency(
+                    f"job {job.job_id}: fan-in dependencies span "
+                    f"workflows {ids}")
+            wf = owners[0]
+            wf.add_job(job, prior=deps)
+            self._job_to_wf[job.job_id] = wf
+            return wf
+        if spec.workflow_join is not None:
+            wf = self._job_to_wf.get(spec.workflow_join)
             if wf is None:
                 raise InvalidDependency(
-                    f"dependency job {prior} is not part of any workflow")
-            wf.add_job(job, prior=prior)
+                    f"join target job {spec.workflow_join} is not part "
+                    "of any workflow")
+            wf.add_job(job)
             self._job_to_wf[job.job_id] = wf
             return wf
         if spec.workflow_end:

@@ -43,8 +43,10 @@ _KEYS = (
     ("queue", "queue"),
     ("partition", "partition"),
     ("dep", "dep"),
+    ("deps", "deps"),
     ("think", "think_time"),
     ("workflow_start", "workflow_start"),
+    ("checkpoint", "checkpoint"),
     ("stage_in_bytes", "stage_in_bytes"),
     ("stage_in_files", "stage_in_files"),
     ("stage_out_bytes", "stage_out_bytes"),
@@ -60,11 +62,15 @@ _INT_ATTRS = frozenset({
     "stage_in_bytes", "stage_in_files", "stage_out_bytes",
     "stage_out_files", "max_requeues",
 })
-_BOOL_ATTRS = frozenset({"workflow_start", "persist"})
+_BOOL_ATTRS = frozenset({"workflow_start", "persist", "checkpoint"})
 _REQUIRED = ("id", "submit")
 
 
 def _coerce(attr: str, value):
+    if attr == "deps":
+        if not isinstance(value, (list, tuple)):
+            raise TypeError("deps must be a list of job ids")
+        return tuple(int(v) for v in value)
     if attr in _BOOL_ATTRS:
         return bool(value)
     if attr in _INT_ATTRS:
@@ -77,7 +83,7 @@ def _record(job: TraceJob) -> Dict:
     for key, attr in _KEYS:
         value = getattr(job, attr)
         if key in _REQUIRED or value != _DEFAULTS[attr]:
-            out[key] = value
+            out[key] = list(value) if attr == "deps" else value
     return out
 
 

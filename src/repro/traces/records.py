@@ -67,6 +67,13 @@ class TraceJob:
     #: opens a new workflow (the paper's ``--workflow-start``); set
     #: automatically by :meth:`Trace.normalized` for dependency roots.
     workflow_start: bool = False
+    #: fan-in prerequisites (job ids): general-DAG workflow edges on top
+    #: of the single SWF ``dep``.  Combined with ``dep`` when both are
+    #: present; empty for linear-chain (pure SWF) records.
+    deps: Tuple[int, ...] = ()
+    #: the job checkpoints its compute (replay wraps it in
+    #: checkpoint epochs when a checkpoint interval is configured).
+    checkpoint: bool = False
     stage_in_bytes: int = 0
     stage_in_files: int = 0
     stage_out_bytes: int = 0
@@ -101,8 +108,17 @@ class TraceJob:
         return self.dep if self.dep >= 0 else None
 
     @property
+    def dependencies(self) -> Tuple[int, ...]:
+        """All prerequisite job ids: ``dep`` plus the fan-in ``deps``,
+        deduplicated, in ascending order."""
+        out = set(self.deps)
+        if self.dep >= 0:
+            out.add(self.dep)
+        return tuple(sorted(out))
+
+    @property
     def in_workflow(self) -> bool:
-        return self.workflow_start or self.dependency is not None
+        return self.workflow_start or bool(self.dependencies)
 
     @property
     def is_staged(self) -> bool:
@@ -113,7 +129,8 @@ class TraceJob:
         """Does this record carry data a pure SWF line cannot hold?"""
         return (self.workflow_start or self.persist or self.is_staged
                 or self.stage_in_files > 0 or self.stage_out_files > 0
-                or self.max_requeues >= 0)
+                or self.max_requeues >= 0 or bool(self.deps)
+                or self.checkpoint)
 
 
 @dataclass(frozen=True)
@@ -188,21 +205,21 @@ class Trace:
                 raise TraceError(f"job {j.job_id}: negative staging field")
             by_id[j.job_id] = j
         for j in self.jobs:
-            if j.dependency is None:
-                continue
-            if j.dep == j.job_id:
-                raise TraceError(f"job {j.job_id} depends on itself")
-            prior = by_id.get(j.dep)
-            if prior is None:
-                raise TraceError(
-                    f"job {j.job_id} depends on unknown job {j.dep}")
-            # Replay submits in (submit_time, job_id) order, and a
-            # dependency must be submitted before its dependents.
-            if (prior.submit_time, prior.job_id) >= (j.submit_time,
-                                                     j.job_id):
-                raise TraceError(
-                    f"job {j.job_id} does not sort after its "
-                    f"dependency {j.dep}")
+            for dep in j.dependencies:
+                if dep == j.job_id:
+                    raise TraceError(f"job {j.job_id} depends on itself")
+                prior = by_id.get(dep)
+                if prior is None:
+                    raise TraceError(
+                        f"job {j.job_id} depends on unknown job {dep}")
+                # Replay submits in (submit_time, job_id) order, and a
+                # dependency must be submitted before its dependents —
+                # which also keeps every dependency DAG acyclic.
+                if (prior.submit_time, prior.job_id) >= (j.submit_time,
+                                                         j.job_id):
+                    raise TraceError(
+                        f"job {j.job_id} does not sort after its "
+                        f"dependency {dep}")
 
     def normalized(self) -> "Trace":
         """Validate and mark dependency roots as workflow starts.
@@ -214,10 +231,10 @@ class Trace:
         (transitively) but has no dependency itself.
         """
         self.validate()
-        referenced = {j.dep for j in self.jobs if j.dependency is not None}
+        referenced = {dep for j in self.jobs for dep in j.dependencies}
         jobs = tuple(
             dataclasses.replace(j, workflow_start=True)
-            if (j.job_id in referenced and j.dependency is None
+            if (j.job_id in referenced and not j.dependencies
                 and not j.workflow_start) else j
             for j in self.jobs)
         return dataclasses.replace(self, jobs=jobs)

@@ -71,6 +71,15 @@ class ReplayConfig:
     #: nothing (the report stays byte-identical).  Fault records
     #: embedded in the trace itself are merged in either way.
     fault_plan: Optional[object] = None
+    #: checkpoint epoch length (compute seconds) for jobs flagged
+    #: ``checkpoint`` in the trace; > 0 attaches a
+    #: :class:`~repro.workflows.checkpoint.CheckpointStore` so requeued
+    #: jobs resume after their last epoch.  0 = no store (flagged jobs
+    #: still run the epoch-structured program, so a zero-fault
+    #: checkpointed replay stays byte-identical to interval 0).
+    checkpoint_interval: float = 0.0
+    #: bytes each checkpoint epoch writes to the PFS (timed I/O).
+    checkpoint_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.time_compression <= 0:
@@ -78,6 +87,8 @@ class ReplayConfig:
         if self.batch_window < 0 or self.runtime_scale <= 0 \
                 or self.data_scale <= 0:
             raise ReproError("bad replay config")
+        if self.checkpoint_interval < 0 or self.checkpoint_bytes < 0:
+            raise ReproError("checkpoint knobs must be non-negative")
         if self.scheduler:
             from repro.slurm.policies import available_policies
             names = {name for name, _ in available_policies()}
@@ -128,6 +139,11 @@ class ReplayReport:
     #: present only when the replay injected at least one fault, so
     #: zero-fault reports stay byte-identical to the golden layout.
     resilience: Optional[object] = None
+    #: attached :class:`~repro.workflows.checkpoint.CheckpointStore`;
+    #: its table renders only on faulted runs (with ``resilience``), so
+    #: zero-fault checkpointed reports stay byte-identical to the
+    #: non-checkpointed layout.
+    checkpoints: Optional[object] = None
     #: event-kernel counters (:meth:`Simulator.stats`), captured at
     #: finalize time.  Rendered only by ``to_text(perf=True)`` so the
     #: golden replay layout stays byte-identical across kernels.
@@ -235,6 +251,10 @@ class ReplayReport:
             parts.append(render_table(("metric", "value"),
                                       self.resilience.rows(),
                                       title="resilience"))
+            if self.checkpoints is not None:
+                parts.append(render_table(("metric", "value"),
+                                          self.checkpoints.rows(),
+                                          title="checkpoints"))
         if perf and self.kernel_stats is not None:
             parts.append(render_table(
                 ("counter", "value"),
@@ -269,6 +289,10 @@ class TraceReplayer:
             self.ctld.set_policy(self.config.scheduler)
         self._fault_plan = self._merged_fault_plan()
         self._injector = None
+        self._ckpt_store = None
+        if self.config.checkpoint_interval > 0:
+            from repro.workflows.checkpoint import CheckpointStore
+            self._ckpt_store = CheckpointStore.attach(handle)
         n = len(handle.ctld.slurmds)
         self.report = ReplayReport(
             trace_name=self.trace.name, n_jobs=self.trace.n_jobs,
@@ -328,6 +352,7 @@ class TraceReplayer:
                     self.report.state_counts["stranded"] = \
                         self.report.state_counts.get("stranded", 0) + 1
         self._finalize(start)
+        self.report.checkpoints = self._ckpt_store
         if self._injector is not None and self._fault_plan.n_faults:
             self._injector.stop()
             self.report.resilience = self._injector.finalize(
@@ -387,23 +412,39 @@ class TraceReplayer:
         out_files = max(1, tj.stage_out_files) if out_bytes else 0
         base = f"/replay/j{tj.job_id}"
 
+        deps = tj.dependencies
         stage_in = ()
         phases = []
         if in_bytes:
-            if tj.dependency is not None:
-                origin = f"lustre:/{_out_dir(tj.dep)}/"
-                dep = self._trace_by_tid.get(tj.dep)
-                in_files = max(1, dep.stage_out_files) if dep else in_files
+            if len(deps) > 1:
+                # Fan-in: one "single" directive per prerequisite, each
+                # into its own directory so datasets don't collide.
+                dirs = []
+                for d in deps:
+                    dirs.append(StageDirective(
+                        "stage_in", f"lustre:/{_out_dir(d)}/",
+                        f"nvme0:/{base}/in{d}/", "single"))
+                    dep = self._trace_by_tid.get(d)
+                    files = max(1, dep.stage_out_files) if dep else in_files
+                    phases.append(_rank0_consume(
+                        "nvme0://", f"{base}/in{d}", files))
+                stage_in = tuple(dirs)
             else:
-                origin = f"lustre:/{_seed_dir(tj.job_id)}/"
-            # "single" keeps the staged volume equal to the trace's
-            # declaration whatever the node count ("replicate" would
-            # silently multiply it by the allocation width); only rank
-            # 0's node holds the data, so only rank 0 consumes it.
-            stage_in = (StageDirective("stage_in", origin,
-                                       f"nvme0:/{base}/in/", "single"),)
-            phases.append(_rank0_consume("nvme0://", f"{base}/in",
-                                         in_files))
+                if deps:
+                    origin = f"lustre:/{_out_dir(deps[0])}/"
+                    dep = self._trace_by_tid.get(deps[0])
+                    in_files = max(1, dep.stage_out_files) if dep \
+                        else in_files
+                else:
+                    origin = f"lustre:/{_seed_dir(tj.job_id)}/"
+                # "single" keeps the staged volume equal to the trace's
+                # declaration whatever the node count ("replicate" would
+                # silently multiply it by the allocation width); only rank
+                # 0's node holds the data, so only rank 0 consumes it.
+                stage_in = (StageDirective("stage_in", origin,
+                                           f"nvme0:/{base}/in/", "single"),)
+                phases.append(_rank0_consume("nvme0://", f"{base}/in",
+                                             in_files))
 
         stage_out = ()
         if out_bytes:
@@ -414,12 +455,24 @@ class TraceReplayer:
             stage_out = (StageDirective("stage_out", f"nvme0:/{base}/out/",
                                         f"lustre:/{_out_dir(tj.job_id)}/",
                                         "gather"),)
-            phases.append(produce_files(
-                "nvme0://", f"{base}/out", out_files, per_file,
-                compute_seconds=run, interleave=True,
-                token_prefix=f"t{tj.job_id}:"))
+            if tj.checkpoint:
+                # Epoch-structured: all compute first (resumable), then
+                # the writes — same shape whatever the interval, so a
+                # zero-fault checkpointed replay is byte-identical to
+                # the interval-0 run of the same trace.
+                phases.append(self._compute_phase(tj, run))
+                phases.append(produce_files(
+                    "nvme0://", f"{base}/out", out_files, per_file,
+                    compute_seconds=0.0,
+                    token_prefix=f"t{tj.job_id}:"))
+            else:
+                phases.append(produce_files(
+                    "nvme0://", f"{base}/out", out_files, per_file,
+                    compute_seconds=run, interleave=True,
+                    token_prefix=f"t{tj.job_id}:"))
         else:
-            phases.append(compute_only(run))
+            phases.append(self._compute_phase(tj, run)
+                          if tj.checkpoint else compute_only(run))
 
         persist = ()
         if tj.persist and out_bytes:
@@ -436,15 +489,43 @@ class TraceReplayer:
             time_limit=limit, program=program,
             workflow_start=tj.workflow_start,
             workflow_prior_dependency=(
-                self._jobs_by_tid[tj.dep].job_id
-                if tj.dependency is not None else None),
+                self._jobs_by_tid[deps[0]].job_id
+                if len(deps) == 1 else None),
+            workflow_dependencies=(
+                tuple(self._jobs_by_tid[d].job_id for d in deps)
+                if len(deps) > 1 else ()),
             workflow_end=False,
             stage_in=stage_in, stage_out=stage_out, persist=persist,
+            checkpoint_key=(self._ckpt_key(tj)
+                            if self._ckpt_store is not None
+                            and tj.checkpoint else ""),
             max_requeues=(tj.max_requeues if tj.max_requeues >= 0
                           else None))
 
+    def _ckpt_key(self, tj: TraceJob) -> str:
+        return f"t{tj.job_id}"
+
+    def _compute_phase(self, tj: TraceJob, run: float):
+        """The compute phase of a ``checkpoint``-flagged job: epoch
+        chunks against the store when one is attached, or the plain
+        single-chunk equivalent (identical virtual timings) without."""
+        if self._ckpt_store is not None and run > 0:
+            from repro.workflows.checkpoint import checkpointed_compute
+            return checkpointed_compute(
+                self._ckpt_store, self._ckpt_key(tj), run,
+                self.config.checkpoint_interval,
+                payload_bytes=self.config.checkpoint_bytes)
+        return compute_only(run)
+
     # -- metric streaming ------------------------------------------------
     def _collect(self, tj: TraceJob, job: Job) -> None:
+        if self._ckpt_store is not None and tj.checkpoint \
+                and job.state.value == "completed":
+            # Compact the job's epoch markers into a completion marker
+            # (datasets it staged out, if any, form the manifest).
+            datasets = (f"lustre:/{_out_dir(tj.job_id)}/",) \
+                if tj.stage_out_bytes > 0 else ()
+            self._ckpt_store.mark_complete(self._ckpt_key(tj), datasets)
         rec = self.ctld.accounting.get(job.job_id)
         tau = self.config.bounded_slowdown_tau
         wait = rec.wait_seconds if rec else None

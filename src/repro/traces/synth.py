@@ -71,6 +71,9 @@ class SynthesisConfig:
     #: fraction of producers that additionally stage a cold input
     #: dataset in from the PFS (pre-seeded by the replayer).
     prestage_fraction: float = 0.5
+    #: flag every workflow job ``checkpoint`` so a replay with a
+    #: checkpoint interval runs them in resumable epochs.
+    checkpoint_workflows: bool = False
     n_users: int = 8
     name: str = "synthetic"
 
@@ -161,6 +164,7 @@ def synthesize(cfg: SynthesisConfig, seed: int = 0,
                 job_id=next_id, submit_time=round(t, 3), run_time=round(run, 3),
                 procs=1, requested_time=_limit(run, cfg), status=STATUS_COMPLETED,
                 user=user, workflow_start=True,
+                checkpoint=cfg.checkpoint_workflows,
                 stage_in_bytes=out_bytes // 2 if prestage else 0,
                 stage_in_files=cfg.stage_files if prestage else 0,
                 stage_out_bytes=out_bytes, stage_out_files=cfg.stage_files))
@@ -184,6 +188,7 @@ def synthesize(cfg: SynthesisConfig, seed: int = 0,
                         run_time=round(run_c, 3), procs=1,
                         requested_time=_limit(run_c, cfg),
                         status=STATUS_COMPLETED, user=user, dep=dep,
+                        checkpoint=cfg.checkpoint_workflows,
                         think_time=round(gap, 3),
                         stage_in_bytes=prev_bytes,
                         stage_in_files=cfg.stage_files,

@@ -1,0 +1,21 @@
+"""DAG workflow pipelines with per-stage checkpoint/restart.
+
+The package turns declarative stage DAGs (:mod:`repro.workflows
+.pipeline`) into slurm workflow submissions whose stages checkpoint
+their progress through the NORNS dataspace layer (:mod:`repro
+.workflows.checkpoint`), and recovers from fault-driven failures by
+resubmitting only the lost frontier (:mod:`repro.workflows.engine`).
+"""
+
+from repro.workflows.checkpoint import (CheckpointStore,
+                                        checkpointed_compute, epoch_plan)
+from repro.workflows.engine import (PipelineConfig, PipelineEngine,
+                                    PipelineReport, RoundReport)
+from repro.workflows.pipeline import (PipelineSpec, StageSpec, deep_chain,
+                                      diamond)
+
+__all__ = [
+    "CheckpointStore", "checkpointed_compute", "epoch_plan",
+    "PipelineConfig", "PipelineEngine", "PipelineReport", "RoundReport",
+    "PipelineSpec", "StageSpec", "deep_chain", "diamond",
+]

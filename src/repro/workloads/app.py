@@ -74,10 +74,21 @@ def consume_files(nsid: str, directory: str, n_files: int,
 
 
 def phased_program(*phases: Callable):
-    """Chain several programs into one (run sequentially per step)."""
+    """Chain several programs into one (run sequentially per step).
+
+    An interrupt of the step (node failure, cancellation, time limit)
+    tears the in-flight phase down with it — a knocked-out job must not
+    leave a zombie phase computing and writing in the background.
+    """
 
     def program(ctx):
         for phase in phases:
-            yield ctx.sim.process(phase(ctx), name=f"phase:{ctx.node}")
+            proc = ctx.sim.process(phase(ctx), name=f"phase:{ctx.node}")
+            try:
+                yield proc
+            except BaseException:
+                if proc.is_alive:
+                    proc.interrupt("phase torn down")
+                raise
 
     return program

@@ -143,6 +143,61 @@ class TestTraceModel:
         assert t.staged_fraction == pytest.approx(0.5)
 
 
+class TestJsonlDag:
+    def dag(self):
+        return Trace(name="dag", jobs=(
+            TraceJob(job_id=1, submit_time=0.0, run_time=60.0,
+                     workflow_start=True, checkpoint=True),
+            TraceJob(job_id=2, submit_time=5.0, run_time=30.0, dep=1),
+            TraceJob(job_id=3, submit_time=6.0, run_time=30.0, dep=1,
+                     checkpoint=True),
+            TraceJob(job_id=4, submit_time=9.0, run_time=40.0,
+                     deps=(2, 3), checkpoint=True),
+        ))
+
+    def test_deps_and_checkpoint_round_trip(self):
+        t = self.dag()
+        text = format_jsonl(t)
+        assert '"deps": [2, 3]' in text
+        assert '"checkpoint": true' in text
+        back = parse_jsonl(text)
+        assert back.jobs == t.jobs
+        assert back.job(4).dependencies == (2, 3)
+
+    def test_dependencies_merges_dep_and_deps(self):
+        j = TraceJob(job_id=5, submit_time=0.0, dep=3, deps=(4, 3))
+        assert j.dependencies == (3, 4)
+        assert j.in_workflow
+
+    def test_deps_must_be_a_list(self):
+        with pytest.raises(TraceError, match="deps"):
+            parse_jsonl('{"id": 1, "submit": 0, "deps": 2}\n')
+
+    def test_fan_in_validation(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0),
+                        TraceJob(job_id=2, submit_time=5.0,
+                                 deps=(1, 9))))
+        with pytest.raises(TraceError, match="unknown job"):
+            t.validate()
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=0.0,
+                                 deps=(1,)),))
+        with pytest.raises(TraceError, match="itself"):
+            t.validate()
+
+    def test_fan_in_deps_must_sort_first(self):
+        t = Trace(jobs=(TraceJob(job_id=1, submit_time=9.0),
+                        TraceJob(job_id=2, submit_time=0.0),
+                        TraceJob(job_id=3, submit_time=5.0,
+                                 deps=(1, 2))))
+        with pytest.raises(TraceError, match="sort after"):
+            t.validate()
+
+    def test_normalized_keeps_fan_in_jobs_unflagged(self):
+        n = self.dag().normalized()
+        assert not n.job(4).workflow_start
+        assert [j.job_id for j in n.jobs if j.workflow_start] == [1]
+
+
 class TestJsonlFaults:
     def test_fault_records_round_trip(self):
         from repro.faults import FaultRecord
