@@ -118,6 +118,8 @@ def build(spec: ClusterSpec, seed: int = 0,
                         hub, network=network, directory=directory,
                         membus=fabric.port(name).membus)
         urd.set_mount_table(mount_table)
+        if spec.resilience:
+            urd.enable_resilience(seed=seed)
         slurmd = Slurmd(sim, name, hub, urd,
                         membus=fabric.port(name).membus,
                         pid_alloc=step_pids)

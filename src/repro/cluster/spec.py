@@ -83,6 +83,11 @@ class ClusterSpec:
     #: registry ("node-churn", "chaos", ...) applied by replay drivers
     #: when no explicit ``--faults`` plan is given; "" = no faults.
     fault_profile: str = ""
+    #: Attach the RPC resilience layer (:mod:`repro.resilience`) to
+    #: every urd.  It is built *disarmed* — zero events, zero overhead
+    #: — until a non-empty fault plan arms it, so leaving this on does
+    #: not perturb clean runs.
+    resilience: bool = True
 
     def dataspace_ids(self) -> tuple[str, ...]:
         ids = [d.dataspace_id for d in self.nodes.devices]

@@ -96,6 +96,19 @@ class RpcTimeout(NetworkError):
     """An RPC did not complete within its deadline."""
 
 
+class DeadlineExceeded(NetworkError):
+    """A propagated operation deadline expired (retries included)."""
+
+
+class PeerUnavailable(NetworkError):
+    """Peer marked suspect (open circuit breaker / missed heartbeats).
+
+    Raised *before* any message is sent: the resilience layer fails
+    fast instead of letting a caller hang on a partitioned or
+    restarting daemon.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Storage
 # ---------------------------------------------------------------------------
@@ -175,6 +188,14 @@ class NornsBusyDataspace(NornsError):
 
 class NornsTimeout(NornsError):
     """``norns_wait`` timed out before task completion."""
+
+
+class NornsBusy(NornsError):
+    """Daemon shed the request (admission queue full or restarting).
+
+    An explicit backpressure signal (``NORNS_EAGAIN``): the request was
+    *not* admitted, so resubmitting after a backoff is always safe.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,8 @@ _METRIC_ORDER = (
     "faults_injected", "jobs_requeued", "jobs_failed", "tasks_retried",
     "tasks_lost", "node_downtime_seconds", "mttr_seconds",
     "resilience_goodput",
+    "rpc_retries", "rpc_deadline_expired", "breaker_opens",
+    "requests_shed", "heartbeat_misses", "duplicates_suppressed",
 )
 
 

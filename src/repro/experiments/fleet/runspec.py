@@ -190,6 +190,12 @@ def execute_run(spec: RunSpec) -> RunResult:
         metrics["node_downtime_seconds"] = res.node_downtime
         metrics["mttr_seconds"] = res.mttr
         metrics["resilience_goodput"] = res.goodput
+        metrics["rpc_retries"] = float(res.rpc_retries)
+        metrics["rpc_deadline_expired"] = float(res.rpc_deadline_expired)
+        metrics["breaker_opens"] = float(res.breaker_opens)
+        metrics["requests_shed"] = float(res.requests_shed)
+        metrics["heartbeat_misses"] = float(res.heartbeat_misses)
+        metrics["duplicates_suppressed"] = float(res.duplicates_suppressed)
         info["fault_mix"] = ", ".join(
             f"{k}:{n}" for k, n in sorted(res.faults_by_kind.items()))
     ckpt = report.checkpoints

@@ -89,6 +89,12 @@ def run(quick: bool = True, seed: int = 0,
     result.metrics["makespan_stretch"] = (
         chaos["makespan_seconds"] / base["makespan_seconds"]
         if base["makespan_seconds"] else 0.0)
+    # RPC resilience layer (deadline/retry/breaker/heartbeat/shedding).
+    result.metrics["rpc_retries"] = chaos.get("rpc_retries", 0.0)
+    result.metrics["breaker_opens"] = chaos.get("breaker_opens", 0.0)
+    result.metrics["requests_shed"] = chaos.get("requests_shed", 0.0)
+    result.metrics["heartbeat_misses"] = \
+        chaos.get("heartbeat_misses", 0.0)
 
     result.notes.append(
         f"chaos arm: {int(chaos.get('faults_injected', 0))} faults "
@@ -96,6 +102,12 @@ def run(quick: bool = True, seed: int = 0,
         f"MTTR {chaos.get('mttr_seconds', 0.0):.1f}s, "
         f"downtime {chaos.get('node_downtime_seconds', 0.0):.0f} "
         "node-seconds")
+    result.notes.append(
+        "rpc layer under chaos: "
+        f"{int(chaos.get('rpc_retries', 0))} retries, "
+        f"{int(chaos.get('breaker_opens', 0))} breaker opens, "
+        f"{int(chaos.get('requests_shed', 0))} requests shed, "
+        f"{int(chaos.get('heartbeat_misses', 0))} heartbeat misses")
     result.notes.append(
         "identical trace + cluster + seed per arm; only the fault plan "
         "differs (repro.faults, executed via repro.experiments.fleet)")

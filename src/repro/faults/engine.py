@@ -65,6 +65,22 @@ class ResilienceStats:
     #: checkpoint artifacts destroyed by transfer corruption (only
     #: non-zero when a CheckpointStore is attached to the controller).
     checkpoints_invalidated: int = 0
+    # -- RPC resilience layer (repro.resilience), summed over nodes;
+    # -- all zero when the layer is absent or never armed.
+    rpc_calls: int = 0
+    rpc_retries: int = 0
+    rpc_deadline_expired: int = 0
+    breaker_fastfail: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    requests_shed: int = 0
+    heartbeat_probes: int = 0
+    heartbeat_misses: int = 0
+    duplicates_suppressed: int = 0
+    client_busy_retries: int = 0
+    #: completed resilient-call latencies (report shows the tail).
+    rpc_latencies: List[float] = field(default_factory=list)
 
     @property
     def mttr(self) -> float:
@@ -77,7 +93,7 @@ class ResilienceStats:
         """(metric, value) rows for the report's resilience table."""
         kinds = ", ".join(f"{k}:{n}" for k, n in
                           sorted(self.faults_by_kind.items())) or "-"
-        return [
+        rows = [
             ("faults injected", self.faults_injected),
             ("fault mix", kinds),
             ("jobs requeued", self.jobs_requeued),
@@ -94,6 +110,29 @@ class ResilienceStats:
             ("goodput", f"{self.goodput:.4f}"),
         ] + ([("checkpoints invalidated", self.checkpoints_invalidated)]
              if self.checkpoints_invalidated else [])
+        # Resilience-layer rows only appear once the layer saw traffic,
+        # so reports from clusters without it are unchanged.
+        if self.rpc_calls or self.heartbeat_probes or self.requests_shed:
+            rows += [
+                ("rpc calls", self.rpc_calls),
+                ("rpc retries", self.rpc_retries),
+                ("rpc deadlines blown", self.rpc_deadline_expired),
+                ("breaker fast-fails", self.breaker_fastfail),
+                ("breaker open/half-open/close",
+                 f"{self.breaker_opens}/{self.breaker_half_opens}"
+                 f"/{self.breaker_closes}"),
+                ("requests shed", self.requests_shed),
+                ("client busy backoffs", self.client_busy_retries),
+                ("heartbeat probes", self.heartbeat_probes),
+                ("heartbeat misses", self.heartbeat_misses),
+                ("rpc duplicates suppressed", self.duplicates_suppressed),
+            ]
+            if self.rpc_latencies:
+                from repro.util.stats import summarize
+                lat = summarize(self.rpc_latencies)
+                rows.append(("rpc latency p95/max s",
+                             f"{lat.p95:.6f}/{lat.max:.6f}"))
+        return rows
 
 
 class FaultInjector:
@@ -129,13 +168,41 @@ class FaultInjector:
         for i, rec in enumerate(self.plan.sorted_records()):
             self._at(base + rec.time, lambda rec=rec: self._fire(rec),
                      name=f"fault:{i}:{rec.kind}")
+        if self.plan.records:
+            self._arm_resilience(base)
         return self
 
+    def _arm_resilience(self, base: float) -> None:
+        """Arm every urd's RPC hardening layer for the faulted window.
+
+        Each node heartbeats its ring successor (sorted node order),
+        so partitions/crashes anywhere in the ring are detected even
+        when the workload itself drives no remote RPC traffic;
+        breakers additionally spawn on-demand monitors.  Monitoring is
+        bounded by the plan's last recovery instant (plus detector
+        slack) so a finished run drains the calendar.
+        """
+        until = base + max(rec.time + max(rec.duration, 0.0)
+                           for rec in self.plan.records)
+        names = sorted(self.handle.nodes)
+        for i, name in enumerate(names):
+            res = self.handle.nodes[name].urd.resilience
+            if res is None:
+                continue
+            watch = (names[(i + 1) % len(names)],) if len(names) > 1 \
+                else ()
+            res.arm(watch=watch, until=until)
+
     def stop(self) -> None:
-        """Cancel every armed (not yet fired) injection/recovery."""
+        """Cancel every armed (not yet fired) injection/recovery and
+        disarm the resilience layers (monitors exit on next tick)."""
         for h in self._handles:
             h.cancel()
         self._handles.clear()
+        for name in sorted(self.handle.nodes):
+            res = self.handle.nodes[name].urd.resilience
+            if res is not None:
+                res.disarm()
 
     def _at(self, when: float, action, name: str) -> None:
         handle = self.sim.cancellable_timeout(at=when, name=name)
@@ -160,12 +227,18 @@ class FaultInjector:
         self._crashed_at[node] = self.sim.now
         # The node's daemon dies with it: queued/in-flight NORNS work is
         # lost and its E.T.A. state resets, then the controller knocks
-        # out (and requeues) every job touching the node.
-        self.handle.nodes[node].urd.restart()
+        # out (and requeues) every job touching the node.  Until the
+        # reboot its urd is down — RPCs toward it are dropped on the
+        # floor (peers see timeouts, heartbeats miss, breakers open)
+        # and new submissions are shed.
+        urd = self.handle.nodes[node].urd
+        urd.restart()
+        urd.set_down(True)
         self.handle.ctld.fail_node(node, reason=rec.note or "fault")
         self._recover_in(rec, lambda: self._reboot(node))
 
     def _reboot(self, node: str) -> None:
+        self.handle.nodes[node].urd.set_down(False)
         self.handle.ctld.restore_node(node)
         crashed = self._crashed_at.pop(node, None)
         if crashed is not None:
@@ -192,7 +265,20 @@ class FaultInjector:
 
     # urd restart ----------------------------------------------------------
     def _do_urd_restart(self, rec: FaultRecord) -> None:
-        self.handle.nodes[rec.target].urd.restart()
+        """Daemon bounce.  ``duration`` (if any) is the outage window:
+        while the replacement daemon comes up, its endpoint drops RPC
+        traffic and submissions are shed with ``ERR_AGAIN``."""
+        urd = self.handle.nodes[rec.target].urd
+        urd.restart()
+        if rec.duration > 0:
+            urd.set_down(True)
+            started = self.sim.now
+
+            def back_up():
+                urd.set_down(False)
+                self.stats.recoveries.append(self.sim.now - started)
+
+            self._recover_in(rec, back_up)
 
     # link faults ----------------------------------------------------------
     def _degrade_link(self, rec: FaultRecord, factor: float) -> None:
@@ -262,13 +348,34 @@ class FaultInjector:
         stats.jobs_failed = sum(
             1 for r in ctld.accounting.records() if r.fault_failed)
         for name in sorted(self.handle.nodes):
-            urd = self.handle.nodes[name].urd
+            node = self.handle.nodes[name]
+            urd = node.urd
             stats.tasks_failed += urd.tasks_failed
             stats.tasks_retried += urd.tasks_retried
             stats.tasks_lost += urd.tasks_lost
             stats.bytes_lost += urd.bytes_lost
             stats.bytes_corrupted += urd.bytes_corrupted
             stats.urd_restarts += urd.restarts
+            stats.client_busy_retries += getattr(node.slurmd,
+                                                 "busy_retries", 0)
+            if urd.endpoint is not None:
+                stats.duplicates_suppressed += \
+                    urd.endpoint.duplicates_suppressed
+            res = urd.resilience
+            if res is not None:
+                c = res.counters
+                stats.rpc_calls += c.calls
+                stats.rpc_retries += c.retries
+                stats.rpc_deadline_expired += c.deadline_expired
+                stats.breaker_fastfail += c.breaker_fastfail
+                stats.requests_shed += c.requests_shed
+                stats.heartbeat_probes += c.heartbeat_probes
+                stats.heartbeat_misses += c.heartbeat_misses
+                stats.rpc_latencies.extend(c.latencies)
+                for br in res.breakers().values():
+                    stats.breaker_opens += br.opens
+                    stats.breaker_half_opens += br.half_opens
+                    stats.breaker_closes += br.closes
         # Any node still down when the run ends counts downtime to now.
         for node, crashed in sorted(self._crashed_at.items()):
             stats.node_downtime += self.sim.now - crashed

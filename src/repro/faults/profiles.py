@@ -190,6 +190,7 @@ def _chaos(rng, horizon: float, nodes) -> List[FaultRecord]:
                            duration=reboot, note="chaos: crash"))
     out.append(FaultRecord(time=float(rng.uniform(0.35, 0.5)) * horizon,
                            kind="urd_restart", target=_pick(rng, nodes),
+                           duration=max(20.0, 0.05 * horizon),
                            note="chaos: daemon restart"))
     out.append(FaultRecord(time=float(rng.uniform(0.5, 0.6)) * horizon,
                            kind="link_degrade", target=_pick(rng, nodes),
@@ -209,4 +210,11 @@ def _chaos(rng, horizon: float, nodes) -> List[FaultRecord]:
                            kind="node_drain", target=_pick(rng, nodes),
                            duration=max(40.0, 0.05 * horizon),
                            note="chaos: maintenance drain"))
+    # Late partition: any link_degrade window (fired <= 0.6h, lifting
+    # <= 0.65h + 20s) is over before this opens, so the per-node
+    # window validator stays happy even when targets coincide.
+    out.append(FaultRecord(time=0.85 * horizon, kind="link_partition",
+                           target=_pick(rng, nodes),
+                           duration=max(10.0, 0.02 * horizon),
+                           note="chaos: partition"))
     return out

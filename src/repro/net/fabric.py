@@ -37,6 +37,12 @@ class NodePort:
 class Fabric:
     """Topology-aware byte mover built on the flow engine."""
 
+    #: NIC capacity (bytes/s) at or below which a node counts as
+    #: partitioned: fault injection floors partitioned links to
+    #: ``repro.faults.engine.PARTITION_FLOOR`` (1 B/s), and at that
+    #: rate no RPC datagram gets through in practice.
+    LINK_DOWN_THRESHOLD = 2.0
+
     def __init__(self, sim: Simulator, core_bandwidth: float,
                  base_latency: float = 1.0e-6,
                  flows: Optional[FlowScheduler] = None) -> None:
@@ -45,6 +51,9 @@ class Fabric:
         self.core = CapacityConstraint("fabric:core", core_bandwidth)
         self.base_latency = base_latency
         self._ports: Dict[str, NodePort] = {}
+        #: fabric-level done event -> flow-level done event, so callers
+        #: holding only the wrapper can cancel the underlying flow.
+        self._flow_of: Dict[Event, Event] = {}
 
     # -- topology -------------------------------------------------------
     def add_node(self, name: str, nic_bandwidth: float,
@@ -101,6 +110,19 @@ class Fabric:
         self.port(src), self.port(dst)  # existence check
         return self.base_latency
 
+    def reachable(self, src: str, dst: str) -> bool:
+        """Can small messages cross ``src -> dst`` right now?
+
+        False only while a NIC on the path is floored by a partition
+        fault; degraded-but-alive links still carry RPCs (they are
+        latency-, not bandwidth-, bound in this model).
+        """
+        if src == dst:
+            return True
+        return (self.port(src).egress.capacity > self.LINK_DOWN_THRESHOLD
+                and self.port(dst).ingress.capacity
+                > self.LINK_DOWN_THRESHOLD)
+
     def transfer(self, src: str, dst: str, size: float,
                  rate_cap: Optional[float] = None,
                  extra_constraints: Sequence[CapacityConstraint] = (),
@@ -115,9 +137,11 @@ class Fabric:
         done = self.sim.event(name=f"fabric:{src}->{dst}")
         flow_done = self.flows.transfer(size, constraints, rate_cap,
                                         label=label or f"{src}->{dst}")
+        self._flow_of[done] = flow_done
         lat = self.latency(src, dst)
 
         def after_flow(ev: Event) -> None:
+            self._flow_of.pop(done, None)
             if ev.ok:
                 if lat > 0:
                     self.sim.timeout(lat).add_callback(
@@ -129,3 +153,14 @@ class Fabric:
 
         flow_done.add_callback(after_flow)
         return done
+
+    def cancel(self, done: Event) -> None:
+        """Abort an in-flight :meth:`transfer` by its completion event.
+
+        Delegates to :meth:`FlowScheduler.cancel` through the wrapper
+        mapping; a transfer that already completed (or was never issued
+        through this fabric) is left alone.
+        """
+        flow_done = self._flow_of.get(done)
+        if flow_done is not None:
+            self.flows.cancel(flow_done)

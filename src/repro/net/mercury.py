@@ -57,8 +57,12 @@ class MercuryEndpoint:
     byte being serialized.
     """
 
+    #: retained (responded) idempotency keys before the oldest is evicted.
+    DEDUP_CAPACITY = 4096
+
     __slots__ = ("network", "node", "sim", "plugin", "_handlers",
-                 "_incoming", "_rpc_seq", "rpcs_served")
+                 "_incoming", "_rpc_seq", "rpcs_served", "up",
+                 "_dedup", "duplicates_suppressed")
 
     def __init__(self, network: "MercuryNetwork", node: str,
                  progress_threads: int = 1) -> None:
@@ -70,6 +74,14 @@ class MercuryEndpoint:
         self._incoming: Store = Store(self.sim, name=f"hg:{node}:in")
         self._rpc_seq = itertools.count(1)
         self.rpcs_served = 0
+        #: endpoint liveness: a down endpoint (crashed/restarting
+        #: daemon) silently drops traffic, like a dead NIC queue.
+        self.up = True
+        #: idempotency key -> [settled, ok, value, waiters] so a
+        #: retried-but-duplicated request is served the original
+        #: outcome instead of re-invoking the handler.
+        self._dedup: Dict[str, list] = {}
+        self.duplicates_suppressed = 0
         for i in range(progress_threads):
             self.sim.process(self._progress_loop(), name=f"hg:{node}:prog{i}")
 
@@ -91,13 +103,21 @@ class MercuryEndpoint:
 
     # -- client side --------------------------------------------------------
     def call(self, target: str, rpc: str, payload: Any = b"",
-             timeout: Optional[float] = None) -> Event:
+             timeout: Optional[float] = None,
+             key: Optional[str] = None) -> Event:
         """Issue an RPC; returns an event with the response payload.
 
         The request transits the fabric (propagation + plugin message
         latency), is serialized through the target's progress loop, and
         the response travels back the same way.  ``timeout`` (seconds)
-        fails the event with :class:`RpcTimeout` if exceeded.
+        fails the event with :class:`RpcTimeout` if exceeded.  ``key``
+        is an idempotency key: deliveries repeating a key the target
+        has already seen are answered from its duplicate-suppression
+        table instead of re-invoking the handler.
+
+        A request toward a down endpoint or across a partitioned link
+        is *dropped*, not failed: like a real network, the caller only
+        learns through its own timeout.
         """
         reply = self.sim.event(name=f"rpc:{rpc}@{target}")
         try:
@@ -105,11 +125,13 @@ class MercuryEndpoint:
         except AddressLookupError as e:
             reply.fail(e)
             return reply
-        one_way = (self.network.fabric.latency(self.node, target)
-                   + self.plugin.message_latency)
-        request = (rpc, payload, self.node, reply)
-        self.sim.timeout(one_way).add_callback(
-            lambda _e: tgt._incoming.put(request))
+        if self.up and tgt.up \
+                and self.network.fabric.reachable(self.node, target):
+            one_way = (self.network.fabric.latency(self.node, target)
+                       + self.plugin.message_latency)
+            request = (rpc, payload, self.node, reply, key)
+            self.sim.timeout(one_way).add_callback(
+                lambda _e: tgt._incoming.put(request))
         if timeout is None:
             return reply
         return self._with_timeout(reply, timeout, rpc, target)
@@ -163,32 +185,74 @@ class MercuryEndpoint:
     def _progress_loop(self):
         """Serialize per-RPC protocol work; dispatch handlers async."""
         while True:
-            rpc, payload, origin, reply = yield self._incoming.get()
+            rpc, payload, origin, reply, key = yield self._incoming.get()
             # Protocol processing cost (deserialize, dispatch) — the
             # target-side bottleneck measured in Fig. 5.
             if self.plugin.rpc_service_time > 0:
                 yield self.sim.timeout(self.plugin.rpc_service_time)
+            if key is not None and self._suppress_duplicate(key, origin,
+                                                           reply):
+                continue
             handler = self._handlers.get(rpc)
             if handler is None:
                 self._respond(origin, reply,
                               NetworkError(f"no handler for rpc {rpc!r} on {self.node}"),
                               ok=False)
                 continue
-            self.sim.process(self._dispatch(handler, rpc, payload, origin, reply),
+            self.sim.process(self._dispatch(handler, rpc, payload, origin,
+                                            reply, key),
                              name=f"hg:{self.node}:{rpc}")
 
-    def _dispatch(self, handler, rpc, payload, origin, reply):
+    def _suppress_duplicate(self, key: str, origin: str,
+                            reply: Event) -> bool:
+        """Effectively-once delivery for keyed (retried) requests.
+
+        First sighting registers the key and lets the handler run;
+        repeats are answered from the recorded outcome — immediately if
+        settled, or when the in-flight original completes.
+        """
+        entry = self._dedup.get(key)
+        if entry is None:
+            if len(self._dedup) >= self.DEDUP_CAPACITY:
+                self._dedup.pop(next(iter(self._dedup)))
+            self._dedup[key] = [False, False, None, []]
+            return False
+        self.duplicates_suppressed += 1
+        settled, ok, value, waiters = entry
+        if settled:
+            self._respond(origin, reply, value, ok)
+        else:
+            waiters.append((origin, reply))
+        return True
+
+    def _settle_key(self, key: Optional[str], value: Any, ok: bool) -> None:
+        if key is None:
+            return
+        entry = self._dedup.get(key)
+        if entry is None:
+            return  # evicted while in flight
+        entry[0], entry[1], entry[2] = True, ok, value
+        waiters, entry[3] = entry[3], []
+        for origin, reply in waiters:
+            self._respond(origin, reply, value, ok)
+
+    def _dispatch(self, handler, rpc, payload, origin, reply, key=None):
         try:
             result = handler(payload, origin)
             if hasattr(result, "send"):  # generator handler -> run inline
                 result = yield self.sim.process(result)
         except Exception as exc:  # handler bug or domain failure
+            self._settle_key(key, exc, ok=False)
             self._respond(origin, reply, exc, ok=False)
             return
         self.rpcs_served += 1
+        self._settle_key(key, result, ok=True)
         self._respond(origin, reply, result, ok=True)
 
     def _respond(self, origin: str, reply: Event, value: Any, ok: bool) -> None:
+        if not self.up \
+                or not self.network.fabric.reachable(self.node, origin):
+            return  # the response is lost with the link/daemon
         one_way = (self.network.fabric.latency(self.node, origin)
                    + self.plugin.message_latency)
 

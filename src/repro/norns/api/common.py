@@ -2,18 +2,20 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 from repro.errors import (
-    NornsAccessDenied, NornsBusyDataspace, NornsDataspaceExists,
+    NornsAccessDenied, NornsBusy, NornsBusyDataspace, NornsDataspaceExists,
     NornsDataspaceNotFound, NornsError, NornsJobNotFound,
     NornsNoPlugin, NornsNotRegistered, NornsTaskError, NornsTimeout,
 )
 from repro.net.sockets import Credentials, LocalSocketHub
+from repro.resilience import RetryPolicy
 from repro.wire import make_frame, open_frame
 from repro.wire import norns_proto as proto
 
-__all__ = ["ApiError", "raise_for_code", "BaseClient"]
+__all__ = ["ApiError", "raise_for_code", "BaseClient", "BUSY_BACKOFF"]
 
 
 class ApiError(NornsError):
@@ -30,7 +32,14 @@ _CODE_TO_EXC = {
     proto.ERR_TIMEOUT: NornsTimeout,
     proto.ERR_BUSY: NornsBusyDataspace,
     proto.ERR_NOSUCHJOB: NornsJobNotFound,
+    proto.ERR_AGAIN: NornsBusy,
 }
+
+#: Default client reaction to a shedding/restarting daemon: patient
+#: jittered-exponential backoff (a restart outage spans tens of
+#: seconds, so the budget must outlast one).
+BUSY_BACKOFF = RetryPolicy(max_attempts=10, base_delay=0.2,
+                           multiplier=2.0, max_delay=30.0)
 
 
 def raise_for_code(code: int, detail: str = "") -> None:
@@ -57,6 +66,13 @@ class BaseClient:
         self.socket_path = socket_path
         self.pid = pid
         self._chan = None
+        # Busy-backoff (opt-in via attach_backoff): retried requests
+        # after an ERR_AGAIN shed, with seeded deterministic jitter.
+        self._busy_policy: Optional[RetryPolicy] = None
+        self._busy_seed = 0
+        self._busy_seq = itertools.count(1)
+        self._busy_sink = None
+        self.busy_retries = 0
 
     @property
     def connected(self) -> bool:
@@ -82,13 +98,48 @@ class BaseClient:
             raise NornsError("daemon closed the connection")
         return open_frame(proto.NORNS_PROTOCOL, raw)
 
+    def attach_backoff(self, policy: Optional[RetryPolicy] = None,
+                       seed: int = 0, sink=None) -> "BaseClient":
+        """Retry requests the daemon sheds (``ERR_AGAIN``).
+
+        The retry schedule is a pure function of ``seed`` and the
+        retry ordinal, so a backed-off client replays identically.
+        Requests that never see ``ERR_AGAIN`` pay nothing.  ``sink``
+        is an object whose ``busy_retries`` outlives this (often
+        short-lived) client, for report aggregation.
+        """
+        self._busy_policy = policy if policy is not None else BUSY_BACKOFF
+        self._busy_seed = seed
+        self._busy_sink = sink
+        return self
+
     def _checked(self, message):
-        """Roundtrip + raise on error codes; returns the response."""
-        response = yield from self._roundtrip(message)
-        code = getattr(response, "error_code", proto.ERR_SUCCESS)
-        detail = getattr(response, "detail", "")
-        raise_for_code(code, detail)
-        return response
+        """Roundtrip + raise on error codes; returns the response.
+
+        With :meth:`attach_backoff`, ``ERR_AGAIN`` (load-shed or
+        restarting daemon) is retried after a jittered-exponential
+        delay until the policy's attempt budget is spent.
+        """
+        policy = self._busy_policy
+        attempt = 1
+        key = None
+        while True:
+            response = yield from self._roundtrip(message)
+            code = getattr(response, "error_code", proto.ERR_SUCCESS)
+            detail = getattr(response, "detail", "")
+            if code == proto.ERR_AGAIN and policy is not None \
+                    and attempt < policy.max_attempts:
+                if key is None:
+                    key = f"busy:{next(self._busy_seq)}"
+                yield self.sim.timeout(
+                    policy.delay(self._busy_seed, key, attempt))
+                attempt += 1
+                self.busy_retries += 1
+                if self._busy_sink is not None:
+                    self._busy_sink.busy_retries += 1
+                continue
+            raise_for_code(code, detail)
+            return response
 
     # shared by both APIs (Table I lists task management on both sides)
     def ping(self):

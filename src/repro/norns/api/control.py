@@ -140,10 +140,13 @@ class NornsCtlClient(BaseClient):
         return task
 
     def wait(self, task: ClientTask, timeout: Optional[float] = None):
+        # None -> negative wire sentinel (wait forever); an explicit 0
+        # stays 0 and polls instead of blocking.
         if not task.submitted:
             raise NornsError("wait() on an unsubmitted task")
-        msg = proto.IotaskWaitRequest(task_id=task.task_id, pid=0,
-                                      timeout_seconds=timeout or 0.0)
+        msg = proto.IotaskWaitRequest(
+            task_id=task.task_id, pid=0,
+            timeout_seconds=-1.0 if timeout is None else float(timeout))
         resp = yield from self._checked(msg)
         return _stats_from_response(resp)
 

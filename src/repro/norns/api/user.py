@@ -90,11 +90,16 @@ class NornsClient(BaseClient):
         Returns final :class:`TaskStats`; raises
         :class:`~repro.errors.NornsTimeout` when the timeout fires first
         (the task keeps running — poll again or wait more).
+
+        ``timeout=None`` waits forever; ``timeout=0`` is a
+        non-blocking poll (on the wire, "forever" is the negative
+        sentinel, so an explicit zero is *not* coerced to infinite).
         """
         if not task.submitted:
             raise NornsError("wait() on an unsubmitted task")
-        msg = proto.IotaskWaitRequest(task_id=task.task_id, pid=self.pid,
-                                      timeout_seconds=timeout or 0.0)
+        msg = proto.IotaskWaitRequest(
+            task_id=task.task_id, pid=self.pid,
+            timeout_seconds=-1.0 if timeout is None else float(timeout))
         resp = yield from self._checked(msg)
         return _stats_from_response(resp)
 

@@ -15,6 +15,7 @@ from repro.sim.flows import CapacityConstraint
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.mercury import MercuryEndpoint
     from repro.norns.urd import UrdDirectory
+    from repro.resilience import NodeResilience
 
 __all__ = ["TransferContext", "TransferPlugin", "PluginRegistry",
            "resource_kind"]
@@ -30,6 +31,9 @@ class TransferContext:
     endpoint: Optional["MercuryEndpoint"]      # Mercury attachment
     directory: Optional["UrdDirectory"]        # name -> remote urd lookup
     membus: Optional[CapacityConstraint]       # node memory-bus constraint
+    #: the owning urd's RPC resilience layer (deadline/retry/breaker);
+    #: None for bare contexts built outside a daemon.
+    resilience: Optional["NodeResilience"] = None
 
 
 def resource_kind(controller: Controller,

@@ -17,6 +17,13 @@ source medium's read path, the fabric route, the per-connection protocol
 cap and the destination medium's write path.  Peer-side *constraint
 objects* are resolved through the urd directory — the simulation
 stand-in for RDMA memory-region registration/exchange.
+
+When the urd's resilience layer is armed (non-empty fault plan), one
+propagated deadline budgets the whole task — every control RPC *and*
+the bulk flow spend from it — control RPCs retry with idempotency keys
+through the per-peer circuit breaker, and a bulk flow stalled by a
+mid-flight partition is cancelled at the deadline instead of hanging
+the worker (and the replay) forever.
 """
 
 from __future__ import annotations
@@ -45,15 +52,43 @@ def _remote_backend(ctx: TransferContext, host: str, nsid: str):
     return peer.controller.resolve(nsid).backend
 
 
+def _task_deadline(ctx: TransferContext, size: float):
+    """One deadline for the whole task; None when disarmed."""
+    res = ctx.resilience
+    if res is None or not res.armed:
+        return None
+    return res.transfer_deadline(size)
+
+
 def _rpc(ctx: TransferContext, host: str, rpc: str,
-         request: proto.RemoteFileRequest):
-    """Issue one control RPC; returns the decoded response (generator)."""
-    raw = yield ctx.endpoint.call(
-        host, rpc, make_frame(proto.NORNS_PROTOCOL, request))
+         request: proto.RemoteFileRequest, deadline=None):
+    """Issue one control RPC; returns the decoded response (generator).
+
+    Routed through the resilience layer when present: deadline-bounded,
+    retried with an idempotency key, subject to the peer's breaker.
+    """
+    frame = make_frame(proto.NORNS_PROTOCOL, request)
+    if ctx.resilience is not None:
+        raw = yield from ctx.resilience.call(host, rpc, frame,
+                                            deadline=deadline)
+    else:
+        raw = yield ctx.endpoint.call(host, rpc, frame)
     resp = open_frame(proto.NORNS_PROTOCOL, raw)
     if resp.error_code != proto.ERR_SUCCESS:
         raise NornsTaskError(f"{rpc} at {host} failed: {resp.detail}")
     return resp
+
+
+def _bulk(ctx: TransferContext, event, deadline):
+    """Await a bulk flow, deadline-guarded when armed (generator)."""
+    res = ctx.resilience
+    if res is None:
+        result = yield event
+        return result
+    fabric = ctx.endpoint.network.fabric
+    result = yield from res.guard(event, deadline,
+                                  cancel=lambda: fabric.cancel(event))
+    return result
 
 
 class _RemotePushMixin:
@@ -62,21 +97,25 @@ class _RemotePushMixin:
     def _push(self, ctx: TransferContext, task: IOTask,
               content: FileContent, src_constraints):
         host = task.dst.host
+        deadline = _task_deadline(ctx, content.size)
         req = proto.RemoteFileRequest(
             nsid=task.dst.nsid, path=task.dst.path, size=content.size,
             fingerprint=content.fingerprint, pid=task.pid)
         # 1. prepare: the target validates its dataspace & reserves space.
-        yield ctx.sim.process(_rpc(ctx, host, "norns.push.prepare", req))
+        yield ctx.sim.process(_rpc(ctx, host, "norns.push.prepare", req,
+                                   deadline))
         # 2. bulk: the target pulls from us (paper: RDMA_PULL at target).
         dst_backend = _remote_backend(ctx, host, task.dst.nsid)
         extras = tuple(src_constraints)
         wc = getattr(dst_backend, "write_constraint", None)
         if wc is not None:
             extras = (*extras, wc)
-        yield ctx.endpoint.bulk_push(host, content.size,
-                                     extra_constraints=extras)
+        bulk = ctx.endpoint.bulk_push(host, content.size,
+                                      extra_constraints=extras)
+        yield ctx.sim.process(_bulk(ctx, bulk, deadline))
         # 3. commit: the target publishes the file in its namespace.
-        yield ctx.sim.process(_rpc(ctx, host, "norns.push.commit", req))
+        yield ctx.sim.process(_rpc(ctx, host, "norns.push.commit", req,
+                                   deadline))
         return content.size
 
 
@@ -129,6 +168,7 @@ class RemoteToLocalPlugin(TransferPlugin):
         resp = yield ctx.sim.process(_rpc(ctx, host, "norns.pull.query", query))
         content = FileContent(size=resp.size, fingerprint=resp.fingerprint)
         task.stats.bytes_total = content.size
+        deadline = _task_deadline(ctx, content.size)
         # 2. RDMA_PULL(in_info, out): bounded by the remote read path,
         #    the connection cap and our local write path.
         src_backend = _remote_backend(ctx, host, task.src.nsid)
@@ -137,13 +177,15 @@ class RemoteToLocalPlugin(TransferPlugin):
         rc = getattr(src_backend, "read_constraint", None)
         if rc is not None:
             extras = (*extras, rc)
-        yield ctx.endpoint.bulk_pull(host, content.size,
-                                     extra_constraints=extras)
+        bulk = ctx.endpoint.bulk_pull(host, content.size,
+                                      extra_constraints=extras)
+        yield ctx.sim.process(_bulk(ctx, bulk, deadline))
         # Publish locally (bytes already landed through the timed flow).
         dst_ds.backend.mount.device.allocate(content.size)
         dst_ds.backend.mount.ns.create(task.dst.path, content)
         if task.task_type == TaskType.MOVE:
-            yield ctx.sim.process(_rpc(ctx, host, "norns.pull.release", query))
+            yield ctx.sim.process(_rpc(ctx, host, "norns.pull.release",
+                                       query, deadline))
         return content.size
 
 
@@ -164,6 +206,7 @@ class RemoteToMemoryPlugin(TransferPlugin):
             raise NornsTaskError(
                 f"buffer ({task.dst.size}B) smaller than file ({size}B)")
         task.stats.bytes_total = size
+        deadline = _task_deadline(ctx, size)
         src_backend = _remote_backend(ctx, host, task.src.nsid)
         extras = ()
         rc = getattr(src_backend, "read_constraint", None)
@@ -171,5 +214,6 @@ class RemoteToMemoryPlugin(TransferPlugin):
             extras = (rc,)
         if ctx.membus is not None:
             extras = (*extras, ctx.membus)
-        yield ctx.endpoint.bulk_pull(host, size, extra_constraints=extras)
+        bulk = ctx.endpoint.bulk_pull(host, size, extra_constraints=extras)
+        yield ctx.sim.process(_bulk(ctx, bulk, deadline))
         return size

@@ -28,9 +28,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.errors import (
-    NornsAccessDenied, NornsBusyDataspace, NornsDataspaceExists,
-    NornsDataspaceNotFound, NornsError, NornsJobNotFound, NornsNoPlugin,
-    NornsNotRegistered, NornsTaskError, NoSpace, NoSuchFile, StorageError,
+    NetworkError, NornsAccessDenied, NornsBusyDataspace,
+    NornsDataspaceExists, NornsDataspaceNotFound, NornsError,
+    NornsJobNotFound, NornsNoPlugin, NornsNotRegistered, NornsTaskError,
+    NoSpace, NoSuchFile, StorageError,
 )
 from repro.net.mercury import MercuryEndpoint, MercuryNetwork
 from repro.net.sockets import Credentials, LocalSocketHub
@@ -42,6 +43,7 @@ from repro.norns.plugins.base import PluginRegistry, TransferContext, resource_k
 from repro.norns.queue import ArbitrationPolicy, FCFSPolicy, TaskQueue
 from repro.norns.resources import DataResource
 from repro.norns.task import IOTask, TaskStatus, TaskType
+from repro.resilience import NodeResilience, ResilienceConfig
 from repro.sim.core import Event, Simulator
 from repro.sim.flows import CapacityConstraint
 from repro.sim.primitives import any_of
@@ -70,6 +72,9 @@ _ERROR_CODES = (
     (NoSuchFile, proto.ERR_TASKERROR),
     (NoSpace, proto.ERR_TASKERROR),
     (NornsError, proto.ERR_BADREQUEST),
+    # Network failures (deadline blown, peer partitioned/suspect) kill
+    # the transfer, not the daemon: the task is marked TASKERROR.
+    (NetworkError, proto.ERR_TASKERROR),
 )
 
 
@@ -150,6 +155,12 @@ class UrdDaemon:
         self.directory = directory
         self.endpoint: Optional[MercuryEndpoint] = None
         self.accepting = True
+        #: daemon outage flag (fault injection): a down urd sheds new
+        #: submissions with ``ERR_AGAIN`` and its endpoint drops RPCs.
+        self.down = False
+        #: RPC hardening layer; built by :meth:`enable_resilience`,
+        #: armed/disarmed by the fault injector.
+        self.resilience: Optional[NodeResilience] = None
         self._tasks: Dict[int, IOTask] = {}
         self._task_ids = itertools.count(1)
         self._accept_thread = Resource(sim, 1, name=f"urd:{self.node}:accept")
@@ -368,8 +379,23 @@ class UrdDaemon:
         return proto.GenericResponse(error_code=proto.ERR_SUCCESS)
 
     # -- task submission ----------------------------------------------------
+    def _shed(self, detail: str) -> proto.GenericResponse:
+        """Reject a submission with the retryable busy code."""
+        if self.resilience is not None:
+            self.resilience.counters.requests_shed += 1
+        return proto.GenericResponse(error_code=proto.ERR_AGAIN,
+                                     detail=detail)
+
     def _handle_submit(self, msg: proto.IotaskSubmitRequest,
                        is_control: bool):
+        if self.down:
+            return self._shed("daemon restarting")
+        res = self.resilience
+        if res is not None and res.armed \
+                and 0 < res.config.admission_limit \
+                <= len(self.queue) + len(self._running):
+            return self._shed(
+                f"admission queue full ({res.config.admission_limit})")
         if not self.accepting:
             return proto.GenericResponse(error_code=proto.ERR_BUSY,
                                          detail="daemon paused")
@@ -467,8 +493,11 @@ class UrdDaemon:
         timeout = msg.timeout_seconds
 
         def park():
+            # Sentinel protocol (clients encode ``timeout=None`` as a
+            # negative value): <0 waits forever, 0 is a non-blocking
+            # poll, >0 bounds the wait.
             if not task.stats.is_terminal:
-                if timeout and timeout > 0:
+                if timeout > 0:
                     deadline = self.sim.timeout(timeout)
                     fired = yield any_of(self.sim, [task.done, deadline])
                     if task.done not in fired:
@@ -476,6 +505,11 @@ class UrdDaemon:
                             error_code=proto.ERR_TIMEOUT,
                             detail=f"task {task.task_id} still "
                                    f"{task.stats.status.value}")
+                elif timeout == 0:
+                    return proto.GenericResponse(
+                        error_code=proto.ERR_TIMEOUT,
+                        detail=f"task {task.task_id} still "
+                               f"{task.stats.status.value}")
                 else:
                     yield task.done
             return self._task_status_response(task)
@@ -499,7 +533,8 @@ class UrdDaemon:
                               controller=self.controller,
                               endpoint=self.endpoint,
                               directory=self.directory,
-                              membus=self.membus)
+                              membus=self.membus,
+                              resilience=self.resilience)
         while True:
             task = yield self.queue.pop()
             if task.stats.is_terminal:
@@ -529,11 +564,13 @@ class UrdDaemon:
                     src_kind = resource_kind(self.controller, task.src)
                     dst_kind = resource_kind(self.controller, task.dst)
                     plugin = self.plugins.lookup(src_kind, dst_kind)
-                    ctx.endpoint = self.endpoint  # may be set after init
+                    # Both may be set after init.
+                    ctx.endpoint = self.endpoint
+                    ctx.resilience = self.resilience
                     bytes_moved = yield self.sim.process(
                         plugin.execute(ctx, task),
                         name=f"urd:{self.node}:{plugin.name}")
-            except (NornsError, StorageError) as exc:
+            except (NornsError, StorageError, NetworkError) as exc:
                 failure = (error_code_for(exc), str(exc))
             if epoch != self._epoch:
                 # The daemon restarted mid-transfer: restart() already
@@ -582,6 +619,32 @@ class UrdDaemon:
     # ------------------------------------------------------------------
     # Fault hooks (repro.faults)
     # ------------------------------------------------------------------
+    def enable_resilience(self, config: Optional[ResilienceConfig] = None,
+                          seed: int = 0) -> NodeResilience:
+        """Attach the RPC hardening layer (disarmed: zero overhead).
+
+        The fault injector arms it for the duration of a non-empty
+        fault plan; clean runs never schedule a single extra event.
+        """
+        if self.resilience is None:
+            self.resilience = NodeResilience(
+                self.sim, self.node, endpoint=self.endpoint,
+                config=config, seed=seed)
+        return self.resilience
+
+    def set_down(self, down: bool) -> None:
+        """Daemon outage toggle (node crash / urd restart window).
+
+        While down the endpoint silently drops RPC traffic (callers
+        see timeouts, heartbeats miss) and new submissions are shed
+        with ``ERR_AGAIN``.
+        """
+        self.down = down
+        if self.endpoint is not None:
+            self.endpoint.up = not down
+        if self.resilience is not None:
+            self.resilience.local_down = down
+
     def inject_corruption(self, count: int = 1) -> None:
         """Arm the corruption hook: the next ``count`` data-moving
         transfers complete, fail verification, and are re-queued with
@@ -643,6 +706,7 @@ class UrdDaemon:
     def _register_remote_handlers(self) -> None:
         ep = self.endpoint
         ep.register("norns.submit", self._rpc_submit)
+        ep.register("norns.ping", self._rpc_ping)
         ep.register("norns.pull.query", self._rpc_pull_query)
         ep.register("norns.pull.release", self._rpc_pull_release)
         ep.register("norns.push.prepare", self._rpc_push_prepare)
@@ -666,6 +730,11 @@ class UrdDaemon:
             return make_frame(proto.NORNS_PROTOCOL, response)
 
         return handler()
+
+    def _rpc_ping(self, payload: WirePayload, origin: str) -> WirePayload:
+        """Liveness probe for the heartbeat failure detector."""
+        return make_frame(proto.NORNS_PROTOCOL, proto.GenericResponse(
+            error_code=proto.ERR_SUCCESS, detail="pong"))
 
     def _decode_remote_file(self, payload: WirePayload) -> proto.RemoteFileRequest:
         msg = open_frame(proto.NORNS_PROTOCOL, payload)

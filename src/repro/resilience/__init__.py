@@ -1,0 +1,20 @@
+"""Deterministic, DES-native RPC resilience for the NORNS stack.
+
+Deadline propagation, seeded jittered-exponential retry with
+idempotency keys, per-peer circuit breakers, heartbeat failure
+detection and load-shedding admission control — built disarmed so a
+zero-fault replay stays byte-identical to the golden files, armed by
+the fault injector whenever a non-empty plan runs.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.layer import (
+    NodeResilience, ResilienceConfig, ResilienceCounters,
+)
+from repro.resilience.policy import Deadline, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN",
+    "Deadline", "RetryPolicy",
+    "NodeResilience", "ResilienceConfig", "ResilienceCounters",
+]

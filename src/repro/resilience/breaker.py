@@ -1,0 +1,94 @@
+"""Per-peer circuit breaker: closed → open → half-open → closed.
+
+The breaker is *lazy*: it never schedules a timer.  State transitions
+happen inside :meth:`CircuitBreaker.allow` / ``record_*`` calls using
+the caller-supplied clock, so an idle breaker costs zero calendar
+events and the whole machine is a pure function of its
+``(allow | success | failure, timestamp)`` input trace — the second
+determinism property pinned by ``tests/test_resilience_policy.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimError
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure detector state for one remote peer."""
+
+    __slots__ = ("peer", "failure_threshold", "recovery_timeout",
+                 "state", "consecutive_failures", "opened_at",
+                 "opens", "half_opens", "closes")
+
+    def __init__(self, peer: str, failure_threshold: int = 3,
+                 recovery_timeout: float = 10.0) -> None:
+        if failure_threshold < 1:
+            raise SimError("failure threshold must be >= 1")
+        if recovery_timeout <= 0:
+            raise SimError("recovery timeout must be positive")
+        self.peer = peer
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        # transition counters (fold into the resilience report)
+        self.opens = 0
+        self.half_opens = 0
+        self.closes = 0
+
+    # -- queries -----------------------------------------------------------
+    def recovery_due(self, now: float) -> bool:
+        """Open long enough that a half-open trial is allowed."""
+        return self.state == OPEN \
+            and now >= self.opened_at + self.recovery_timeout
+
+    def allow(self, now: float) -> bool:
+        """May a call be issued to this peer right now?
+
+        In the open state this is where the lazy open → half-open
+        transition happens once the recovery window has elapsed: the
+        next caller becomes the trial request.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if not self.recovery_due(now):
+                return False
+            self.state = HALF_OPEN
+            self.half_opens += 1
+        return True  # half-open: admit the trial
+
+    # -- observations ------------------------------------------------------
+    def record_success(self, now: float) -> None:
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self.closes += 1
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.state == HALF_OPEN:
+            # failed trial: straight back to open, fresh recovery window
+            self.state = OPEN
+            self.opened_at = now
+            self.opens += 1
+            self.consecutive_failures = 0
+            return
+        if self.state == OPEN:
+            return  # already suspect; don't extend the recovery window
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self.state = OPEN
+            self.opened_at = now
+            self.opens += 1
+            self.consecutive_failures = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CircuitBreaker {self.peer} {self.state} "
+                f"fails={self.consecutive_failures}>")

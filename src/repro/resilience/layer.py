@@ -1,0 +1,290 @@
+"""The per-node RPC resilience layer (deadline / retry / breaker).
+
+One :class:`NodeResilience` instance rides on every urd daemon.  It is
+built **disarmed**: every code path through :meth:`NodeResilience.call`
+and :meth:`NodeResilience.guard` collapses to the exact pre-existing
+behaviour (one plain ``endpoint.call`` / one plain ``yield``) and zero
+extra calendar events, which is what keeps zero-fault replays
+byte-identical to the golden files with the layer enabled everywhere.
+
+The :class:`~repro.faults.engine.FaultInjector` arms the layer when a
+non-empty fault plan starts.  Armed, every outbound control RPC gets:
+
+* a propagated :class:`~repro.resilience.policy.Deadline` (one budget
+  spent across the whole chain, never stacked per hop);
+* seeded jittered-exponential retry with an idempotency key — the
+  target endpoint's duplicate-suppression table makes retried
+  submits/prepares effectively-once;
+* a per-peer :class:`~repro.resilience.breaker.CircuitBreaker` so a
+  partitioned or restarting urd fails callers fast; and
+* heartbeat probing (``norns.ping``) that marks peers suspect and
+  detects recovery, ring-scheduled across the cluster plus on-demand
+  for any peer whose breaker opens.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import DeadlineExceeded, NetworkError, PeerUnavailable
+from repro.resilience.breaker import CLOSED, OPEN, CircuitBreaker
+from repro.resilience.policy import Deadline, RetryPolicy
+from repro.sim.primitives import any_of
+
+__all__ = ["ResilienceConfig", "ResilienceCounters", "NodeResilience"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs of one node's resilience layer (see README)."""
+
+    #: retry schedule for control RPCs.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: per-attempt RPC timeout (seconds) unless the caller narrows it.
+    call_timeout: float = 5.0
+    #: default whole-call budget when the caller brings no deadline.
+    call_deadline: float = 30.0
+    #: consecutive failures before a peer's breaker opens.
+    failure_threshold: int = 3
+    #: open → half-open trial eligibility delay.
+    recovery_timeout: float = 10.0
+    #: heartbeat probe period per watched peer.
+    heartbeat_interval: float = 2.0
+    #: per-probe RPC timeout.
+    heartbeat_timeout: float = 1.0
+    #: retry schedule for heartbeat probes (tighter than control RPCs).
+    probe_retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_attempts=2, base_delay=0.05, max_delay=0.2))
+    #: admission bound on a urd's outstanding (queued + running) tasks;
+    #: 0 disables shedding.
+    admission_limit: int = 512
+    #: slack added to every bulk-transfer deadline.
+    bulk_grace: float = 5.0
+    #: assumed worst acceptable transfer rate (bytes/s) when budgeting
+    #: a bulk deadline: budget = grace + size / min_bulk_rate.
+    min_bulk_rate: float = 1.0e6
+
+
+@dataclass
+class ResilienceCounters:
+    """Per-node RPC-plane outcome counters (armed windows only)."""
+
+    calls: int = 0
+    retries: int = 0
+    deadline_expired: int = 0
+    breaker_fastfail: int = 0
+    requests_shed: int = 0
+    heartbeat_probes: int = 0
+    heartbeat_misses: int = 0
+    #: completed resilient-call latencies (tail summary in the report).
+    latencies: List[float] = field(default_factory=list)
+
+    def record_latency(self, elapsed: float) -> None:
+        self.latencies.append(elapsed)
+
+
+class NodeResilience:
+    """Deadline/retry/breaker/heartbeat machinery for one node."""
+
+    def __init__(self, sim, node: str, endpoint=None,
+                 config: Optional[ResilienceConfig] = None,
+                 seed: int = 0) -> None:
+        self.sim = sim
+        self.node = node
+        self.endpoint = endpoint
+        self.config = config or ResilienceConfig()
+        self.seed = seed
+        self.armed = False
+        #: instant past which heartbeat monitors stand down (None =
+        #: while armed).  Without a bound, sticky monitors would keep
+        #: the calendar non-empty forever and a run-to-exhaustion
+        #: ``sim.run()`` would never return.
+        self.armed_until: Optional[float] = None
+        #: local daemon down (crash/restart outage window).
+        self.local_down = False
+        self.counters = ResilienceCounters()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._watching: Set[str] = set()
+        self._key_seq = itertools.count(1)
+
+    # -- lifecycle ---------------------------------------------------------
+    def arm(self, watch: tuple = (),
+            until: Optional[float] = None) -> None:
+        """Turn the layer on (non-empty fault plan started).
+
+        ``watch`` names peers to heartbeat continuously (the injector
+        passes each node's ring successor); peers whose breaker opens
+        from real traffic are watched on demand.  ``until`` bounds the
+        monitoring window — the injector passes the plan's last
+        recovery instant; the layer pads it so detectors observe the
+        final recovery before standing down.  Calls/guards stay
+        hardened for as long as the layer is armed either way.
+        """
+        self.armed = True
+        if until is not None:
+            cfg = self.config
+            self.armed_until = (until + 2 * cfg.recovery_timeout
+                                + cfg.heartbeat_interval)
+        for peer in watch:
+            self.watch(peer, sticky=True)
+
+    def disarm(self) -> None:
+        """Turn the layer off; monitor loops exit on their next tick."""
+        self.armed = False
+
+    def breaker(self, peer: str) -> CircuitBreaker:
+        br = self._breakers.get(peer)
+        if br is None:
+            br = CircuitBreaker(peer, self.config.failure_threshold,
+                                self.config.recovery_timeout)
+            self._breakers[peer] = br
+        return br
+
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        return dict(self._breakers)
+
+    # -- deadline helpers --------------------------------------------------
+    def transfer_deadline(self, size: float) -> Deadline:
+        """Budget for one staged transfer (control RPCs + bulk flow)."""
+        cfg = self.config
+        return Deadline.after(self.sim.now,
+                              cfg.bulk_grace + size / cfg.min_bulk_rate)
+
+    # -- resilient call ----------------------------------------------------
+    def call(self, target: str, rpc: str, payload=b"",
+             deadline: Optional[Deadline] = None,
+             policy: Optional[RetryPolicy] = None,
+             attempt_timeout: Optional[float] = None):
+        """Resilient RPC; a generator (``yield from`` it).
+
+        Disarmed this is exactly one plain ``endpoint.call`` — no
+        timeout, no key, no bookkeeping, no extra events.
+        """
+        ep = self.endpoint
+        if ep is None:
+            raise NetworkError(
+                f"node {self.node} has no network endpoint")
+        if not self.armed:
+            result = yield ep.call(target, rpc, payload)
+            return result
+        cfg = self.config
+        policy = policy or cfg.retry
+        per_attempt = attempt_timeout if attempt_timeout is not None \
+            else cfg.call_timeout
+        if deadline is None:
+            deadline = Deadline.after(self.sim.now, cfg.call_deadline)
+        br = self.breaker(target)
+        key = f"{self.node}:{rpc}:{next(self._key_seq)}"
+        self.counters.calls += 1
+        started = self.sim.now
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            now = self.sim.now
+            if deadline.expired(now):
+                self.counters.deadline_expired += 1
+                raise DeadlineExceeded(
+                    f"rpc {rpc!r} to {target}: deadline expired after "
+                    f"{attempt - 1} attempt(s)") from last_exc
+            if not br.allow(now):
+                self.counters.breaker_fastfail += 1
+                self.watch(target)  # detect recovery without traffic
+                raise PeerUnavailable(
+                    f"peer {target} suspect (breaker open)") from last_exc
+            budget = min(per_attempt, deadline.remaining(now))
+            try:
+                result = yield ep.call(target, rpc, payload,
+                                       timeout=budget, key=key)
+            except NetworkError as exc:
+                last_exc = exc
+                br.record_failure(self.sim.now)
+                if br.state == OPEN:
+                    self.watch(target)
+                if attempt >= policy.max_attempts:
+                    break
+                pause = policy.delay(self.seed, key, attempt)
+                if deadline.expired(self.sim.now + pause):
+                    break  # a retry could never beat the deadline
+                self.counters.retries += 1
+                yield self.sim.timeout(pause)
+                continue
+            br.record_success(self.sim.now)
+            self.counters.record_latency(self.sim.now - started)
+            return result
+        if deadline.expired(self.sim.now):
+            self.counters.deadline_expired += 1
+            raise DeadlineExceeded(
+                f"rpc {rpc!r} to {target}: deadline expired") from last_exc
+        raise last_exc
+
+    # -- bulk guard --------------------------------------------------------
+    def guard(self, event, deadline: Optional[Deadline], cancel=None):
+        """Bound ``event`` (a bulk transfer) by ``deadline``; generator.
+
+        On expiry the optional ``cancel`` thunk aborts the underlying
+        flow and the caller gets :class:`DeadlineExceeded`.  Disarmed
+        (or with no/infinite deadline) this is a single plain yield.
+        """
+        if not self.armed or deadline is None or deadline.infinite:
+            result = yield event
+            return result
+        handle = self.sim.cancellable_timeout(
+            at=deadline.expires_at, name=f"resilience:guard:{self.node}")
+        fired = yield any_of(self.sim, [event, handle.event])
+        if event in fired:
+            handle.cancel()
+            return fired[event]
+        self.counters.deadline_expired += 1
+        if cancel is not None:
+            cancel()
+        raise DeadlineExceeded(
+            f"bulk transfer on {self.node} missed its deadline "
+            f"(t={deadline.expires_at:g})")
+
+    # -- heartbeat failure detection ---------------------------------------
+    def watch(self, peer: str, sticky: bool = False) -> None:
+        """Start (or keep) a heartbeat monitor loop for ``peer``.
+
+        Sticky monitors (the injector's ring assignment) probe while
+        the layer stays armed; on-demand monitors exit once the peer's
+        breaker closes again.
+        """
+        if not self.armed or self.endpoint is None or peer == self.node:
+            return
+        if self.armed_until is not None \
+                and self.sim.now >= self.armed_until:
+            return  # monitoring window over; traffic probes breakers
+        if peer in self._watching:
+            return
+        self._watching.add(peer)
+        self.sim.process(self._monitor_loop(peer, sticky),
+                         name=f"resilience:{self.node}:hb:{peer}")
+
+    def _monitor_loop(self, peer: str, sticky: bool):
+        cfg = self.config
+        br = self.breaker(peer)
+        while self.armed and (self.armed_until is None
+                              or self.sim.now < self.armed_until):
+            yield self.sim.timeout(cfg.heartbeat_interval)
+            if not self.armed:
+                break
+            if not sticky and br.state == CLOSED:
+                break
+            if self.local_down:
+                continue  # a crashed node probes nobody
+            now = self.sim.now
+            if br.state == OPEN and not br.recovery_due(now):
+                continue  # suspect; wait out the recovery window
+            self.counters.heartbeat_probes += 1
+            budget = (cfg.heartbeat_timeout * cfg.probe_retry.max_attempts
+                      + cfg.probe_retry.max_delay)
+            try:
+                yield from self.call(
+                    peer, "norns.ping", b"",
+                    deadline=Deadline.after(now, budget),
+                    policy=cfg.probe_retry,
+                    attempt_timeout=cfg.heartbeat_timeout)
+            except NetworkError:
+                self.counters.heartbeat_misses += 1
+        self._watching.discard(peer)

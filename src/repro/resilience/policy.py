@@ -1,0 +1,102 @@
+"""Deterministic deadlines and seeded jittered-exponential retry.
+
+Everything here is a *pure function* of its inputs: a
+:class:`RetryPolicy` maps ``(seed, key, attempt)`` to a backoff delay
+through a crc32 hash (no RNG state, no global counters), so a retry
+schedule replays bit-identically whether calls execute serially, out of
+order, or sharded across a process-pool fleet — the property the
+hypothesis tests in ``tests/test_resilience_policy.py`` pin down.
+
+A :class:`Deadline` is an absolute expiry instant propagated *down* a
+call chain (client → urd → remote urd): each hop spends from the same
+budget rather than stacking fresh timeouts, so a chain can never
+outlive its caller's patience.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import SimError
+
+__all__ = ["Deadline", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry instant (``inf`` = no deadline)."""
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, now: float, budget: float) -> "Deadline":
+        """Deadline ``budget`` seconds from ``now``."""
+        if budget < 0:
+            raise SimError(f"negative deadline budget {budget}")
+        return cls(expires_at=now + budget)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        return cls(expires_at=math.inf)
+
+    @property
+    def infinite(self) -> bool:
+        return math.isinf(self.expires_at)
+
+    def remaining(self, now: float) -> float:
+        return max(0.0, self.expires_at - now)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(t={self.expires_at:g})"
+
+
+def _unit_hash(*parts: object) -> float:
+    """Deterministic hash of the parts onto [0, 1)."""
+    text = ":".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8")) / 2**32
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff, seeded and stateless.
+
+    ``delay(seed, key, attempt)`` is the pause *after* failed attempt
+    number ``attempt`` (1-based); the jitter factor is a pure crc32
+    hash of ``(seed, key, attempt)``, spreading retry storms without
+    consuming RNG state.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    #: total jitter span as a fraction of the nominal delay; the
+    #: jittered delay lands in ``nominal * (1 ± jitter/2)``.
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimError("retry policy needs at least one attempt")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise SimError("bad retry delay bounds")
+        if not 0 <= self.jitter <= 1:
+            raise SimError(f"jitter {self.jitter} outside [0, 1]")
+
+    def delay(self, seed: int, key: str, attempt: int) -> float:
+        """Backoff (seconds) after failed attempt ``attempt`` (>= 1)."""
+        if attempt < 1:
+            raise SimError(f"attempt numbers are 1-based, got {attempt}")
+        nominal = min(self.max_delay,
+                      self.base_delay * self.multiplier ** (attempt - 1))
+        frac = _unit_hash(seed, key, attempt)
+        return nominal * (1.0 + self.jitter * (frac - 0.5))
+
+    def schedule(self, seed: int, key: str) -> tuple[float, ...]:
+        """Every backoff the policy would take for one logical call."""
+        return tuple(self.delay(seed, key, a)
+                     for a in range(1, self.max_attempts))

@@ -10,6 +10,7 @@ dataspace queries at node-release time.
 from __future__ import annotations
 
 import itertools
+import zlib
 from typing import Dict, Optional
 
 from repro.errors import SlurmError
@@ -41,12 +42,21 @@ class Slurmd:
         self.membus = membus
         self._pids = pid_alloc if pid_alloc is not None else _pids
         self._root = Credentials(uid=0, gid=0)
+        #: ERR_AGAIN backoffs taken by this node's control clients.
+        self.busy_retries = 0
 
     # -- NORNS access ------------------------------------------------------
     def ctl(self) -> NornsCtlClient:
-        """Fresh control-API client (one connection per operation set)."""
-        return NornsCtlClient(self.sim, self.hub, self._root,
-                              socket_path=self.urd.config.control_socket)
+        """Fresh control-API client (one connection per operation set).
+
+        Backed off against ``ERR_AGAIN`` sheds with a node-seeded
+        deterministic jitter, so stage-ins issued while the urd is
+        restarting are resubmitted instead of failed.
+        """
+        client = NornsCtlClient(self.sim, self.hub, self._root,
+                                socket_path=self.urd.config.control_socket)
+        return client.attach_backoff(seed=zlib.crc32(self.node.encode()),
+                                     sink=self)
 
     def user_client(self, pid: int, uid: int = 1000,
                     gid: int = 100) -> NornsClient:

@@ -36,6 +36,7 @@ __all__ = [
     "ERR_SUCCESS", "ERR_NOSUCHNSID", "ERR_NSIDEXISTS", "ERR_NOTREGISTERED",
     "ERR_ACCESSDENIED", "ERR_TASKERROR", "ERR_NOPLUGIN", "ERR_TIMEOUT",
     "ERR_BUSY", "ERR_BADREQUEST", "ERR_NOSUCHTASK", "ERR_NOSUCHJOB",
+    "ERR_AGAIN",
 ]
 
 # -- enums ------------------------------------------------------------------
@@ -63,6 +64,9 @@ ERR_BUSY = 8
 ERR_BADREQUEST = 9
 ERR_NOSUCHTASK = 10
 ERR_NOSUCHJOB = 11
+#: Request shed by admission control / restarting daemon (NORNS_EAGAIN):
+#: not admitted, safe to resubmit after a backoff.
+ERR_AGAIN = 12
 
 
 # -- shared descriptors -------------------------------------------------------
@@ -198,7 +202,7 @@ class IotaskWaitRequest(Message):
     fields = (
         Field(1, "task_id", uint64()),
         Field(2, "pid", uint64()),
-        Field(3, "timeout_seconds", double(), default=0.0),  # 0 = infinite
+        Field(3, "timeout_seconds", double(), default=0.0),  # <0 = infinite, 0 = poll
     )
 
 
