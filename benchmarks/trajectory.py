@@ -17,6 +17,10 @@ commit replaces the old entry, so CI retries don't duplicate history.
 The timestamp is pytest-benchmark's own ``datetime`` stamp from inside
 the artifact — this tool adds no clock reads of its own, so folding
 the same artifact twice is idempotent byte for byte.
+
+A missing or unparseable artifact is a *hard failure* (named gate on
+stderr, nonzero exit, trajectory left untouched): a gate that silently
+drops out of the fold would otherwise read as "no regression" forever.
 """
 
 from __future__ import annotations
@@ -105,13 +109,28 @@ def main(argv=None) -> int:
     commit = args.commit or detect_commit()
 
     entries = []
+    broken = []
     for name in args.artifacts:
         path = pathlib.Path(name)
+        gate = gate_name(path)
         if not path.exists():
-            print(f"trajectory: missing artifact {path}, skipped",
+            print(f"trajectory: gate {gate!r}: missing artifact {path}",
                   file=sys.stderr)
+            broken.append(gate)
             continue
-        entries.append(summarize(path, commit))
+        try:
+            entries.append(summarize(path, commit))
+        except (json.JSONDecodeError, OSError, TypeError, KeyError,
+                AttributeError) as exc:
+            print(f"trajectory: gate {gate!r}: unparseable artifact "
+                  f"{path}: {exc}", file=sys.stderr)
+            broken.append(gate)
+    if broken:
+        # Don't fold a partial set: a half-written trajectory would
+        # make the broken gate's history silently go flat.
+        print(f"trajectory: FAILED gates: {', '.join(broken)} "
+              "(nothing written)", file=sys.stderr)
+        return 1
     if not entries:
         print("trajectory: no artifacts folded", file=sys.stderr)
         return 1

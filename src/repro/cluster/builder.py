@@ -66,6 +66,16 @@ class ClusterHandle:
         """Run a generator as a process to completion (helper)."""
         return self.sim.run(self.sim.process(gen, name=name))
 
+    def enable_tracing(self, categories=None):
+        """Attach a span tracer (``repro.obs``) to this cluster's sim.
+
+        Per-instance, never global, so fleet runs stay pure functions
+        of their RunSpecs.  Returns the tracer (also at
+        ``handle.sim.tracer``).
+        """
+        from repro.obs.trace import attach_tracer
+        return attach_tracer(self.sim, categories=categories)
+
 
 def build(spec: ClusterSpec, seed: int = 0,
           slurm_config: Optional[SlurmConfig] = None) -> ClusterHandle:

@@ -8,6 +8,8 @@ Every shard of a sweep lands in its own directory under
     metrics.jsonl    # one JSON line per replayed job
     report.txt       # the full replay report text
     runstats.json    # wall time / peak RSS / pid / attempts (NOT merged)
+    spans.jsonl      # repro.obs span stream (only for spec.obs runs)
+    obs_metrics.jsonl# repro.obs metric snapshot (only for spec.obs runs)
     COMPLETE         # written last; its presence is the resume marker
 
 All payload files are written before ``COMPLETE``, so an interrupted
@@ -77,6 +79,10 @@ def write_run(out_dir, spec: RunSpec, result: RunResult) -> Path:
             fh.write(json.dumps(row) + "\n")
     (d / "report.txt").write_text(result.report_text)
     _dump(d / "runstats.json", result.runstats)
+    if result.spans_jsonl:
+        (d / "spans.jsonl").write_text(result.spans_jsonl)
+    if result.obs_metrics_jsonl:
+        (d / "obs_metrics.jsonl").write_text(result.obs_metrics_jsonl)
     marker.write_text("ok\n")
     return d
 
@@ -108,7 +114,11 @@ def load_run(out_dir, run_id: str) -> RunResult:
         report_text=(d / "report.txt").read_text()
         if (d / "report.txt").exists() else "",
         job_metrics=job_metrics,
-        runstats=runstats)
+        runstats=runstats,
+        spans_jsonl=(d / "spans.jsonl").read_text()
+        if (d / "spans.jsonl").exists() else "",
+        obs_metrics_jsonl=(d / "obs_metrics.jsonl").read_text()
+        if (d / "obs_metrics.jsonl").exists() else "")
 
 
 def write_fleet_summary(out_dir, matrix_desc: Dict[str, Any],

@@ -151,6 +151,9 @@ class SweepMatrix:
     #: (policy, fault_profile, ...) are deliberately absent so A/B arms
     #: share the identical workload.
     seed_axes: Tuple[str, ...] = ("seed",)
+    #: record repro.obs spans in every run (span/metric JSONL streams
+    #: land in each run's artifact dir).
+    obs: bool = False
 
     @classmethod
     def from_axes(cls, axes: Mapping[str, Iterable[Any]], *,
@@ -159,7 +162,8 @@ class SweepMatrix:
                   workload: Mapping[str, Any] = (),
                   replay: Mapping[str, Any] = (),
                   spec_overrides: Mapping[str, Any] = (),
-                  seed_axes: Sequence[str] = ("seed",)) -> "SweepMatrix":
+                  seed_axes: Sequence[str] = ("seed",),
+                  obs: bool = False) -> "SweepMatrix":
         """Build a matrix from plain dicts, validating axis names."""
         norm = []
         for axis_name in sorted(axes):
@@ -178,7 +182,7 @@ class SweepMatrix:
                    replay=tuple(sorted(dict(replay).items())),
                    spec_overrides=tuple(sorted(dict(spec_overrides)
                                                .items())),
-                   seed_axes=tuple(seed_axes))
+                   seed_axes=tuple(seed_axes), obs=bool(obs))
 
     # -- expansion -------------------------------------------------------
     @property
@@ -254,7 +258,8 @@ class SweepMatrix:
             n_nodes=n_nodes, policy=policy, fault_profile=fault_profile,
             workload=tuple(sorted(workload.items())),
             replay=tuple(sorted(replay.items())),
-            spec_overrides=tuple(sorted(spec_overrides.items())))
+            spec_overrides=tuple(sorted(spec_overrides.items())),
+            obs=self.obs)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-able echo for the sweep-level ``fleet.json`` artifact."""
@@ -268,5 +273,6 @@ class SweepMatrix:
             "workload": dict(self.workload),
             "replay": dict(self.replay),
             "spec_overrides": dict(self.spec_overrides),
+            "obs": self.obs,
             "n_runs": self.n_runs,
         }

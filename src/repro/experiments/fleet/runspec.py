@@ -61,6 +61,9 @@ class RunSpec:
     #: top-level :class:`~repro.cluster.spec.ClusterSpec` field
     #: overrides applied with ``dataclasses.replace``.
     spec_overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: record repro.obs spans during the run and carry the exported
+    #: span/metric JSONL streams in the result artifacts.
+    obs: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -74,6 +77,7 @@ class RunSpec:
             "workload": dict(self.workload),
             "replay": dict(self.replay),
             "spec_overrides": dict(self.spec_overrides),
+            "obs": self.obs,
         }
 
     @classmethod
@@ -90,7 +94,8 @@ class RunSpec:
             workload=tuple(sorted(data.get("workload", {}).items())),
             replay=tuple(sorted(data.get("replay", {}).items())),
             spec_overrides=tuple(sorted(data.get("spec_overrides", {})
-                                        .items())))
+                                        .items())),
+            obs=bool(data.get("obs", False)))
 
 
 @dataclass
@@ -114,8 +119,13 @@ class RunResult:
     report_text: str = ""
     #: per-job metric records (the ``metrics.jsonl`` artifact rows).
     job_metrics: List[Dict[str, Any]] = field(default_factory=list)
-    #: wall_seconds / peak_rss_bytes / pid / attempts.
+    #: wall_seconds / peak_rss_bytes / pid / attempts, plus the
+    #: deterministic ``kernel`` counter block (``--perf`` rendering).
     runstats: Dict[str, Any] = field(default_factory=dict)
+    #: exported repro.obs streams (``spec.obs`` runs only): span and
+    #: metric JSONL bodies destined for the run's artifact dir.
+    spans_jsonl: str = ""
+    obs_metrics_jsonl: str = ""
 
 
 def execute_run(spec: RunSpec) -> RunResult:
@@ -146,6 +156,7 @@ def execute_run(spec: RunSpec) -> RunResult:
         except TypeError as exc:
             raise ReproError(f"bad spec override: {exc}") from None
     handle = build(cluster, seed=spec.seed)
+    tracer = handle.enable_tracing() if spec.obs else None
 
     replay_kwargs = dict(spec.replay)
     compression = float(replay_kwargs.get("time_compression", 1.0))
@@ -206,10 +217,21 @@ def execute_run(spec: RunSpec) -> RunResult:
         metrics["ckpt_stages_cleaned"] = float(ckpt.stages_cleaned)
 
     job_rows = [dataclasses.asdict(m) for m in report.metrics]
-    return RunResult(run_id=spec.run_id, axes=spec.axes, seed=spec.seed,
-                     metrics=metrics, info=info,
-                     report_text=report.to_text(),
-                     job_metrics=job_rows)
+    result = RunResult(run_id=spec.run_id, axes=spec.axes, seed=spec.seed,
+                       metrics=metrics, info=info,
+                       report_text=report.to_text(),
+                       job_metrics=job_rows)
+    if report.kernel_stats is not None:
+        # Deterministic kernel counters ride in runstats (kept out of
+        # the merged FleetReport text, rendered by `sweep --perf`).
+        result.runstats["kernel"] = dict(report.kernel_stats)
+    if tracer is not None:
+        from repro.obs.export import metrics_jsonl, spans_jsonl
+        tracer.close_open()
+        result.spans_jsonl = spans_jsonl(tracer)
+        if report.registry is not None:
+            result.obs_metrics_jsonl = metrics_jsonl(report.registry)
+    return result
 
 
 def measured_run(spec: RunSpec) -> RunResult:
@@ -221,7 +243,7 @@ def measured_run(spec: RunSpec) -> RunResult:
     # process, which for a one-run-per-submission pool worker is the
     # run's own footprint (plus warm imports).
     rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    result.runstats = {"wall_seconds": wall,
-                       "peak_rss_bytes": int(rss_kb) * 1024,
-                       "pid": os.getpid()}
+    result.runstats.update({"wall_seconds": wall,
+                            "peak_rss_bytes": int(rss_kb) * 1024,
+                            "pid": os.getpid()})
     return result

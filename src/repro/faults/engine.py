@@ -156,6 +156,11 @@ class FaultInjector:
         self._baselines: Dict[object, float] = {}
         #: node -> crash instant (for downtime accounting).
         self._crashed_at: Dict[str, float] = {}
+        #: span bookkeeping for the injection currently firing: the
+        #: open fault-window span id, and whether its _do_ handler
+        #: armed a recovery (which then owns closing the span).
+        self._fire_sid = -1
+        self._recovery_armed = False
 
     # -- lifecycle -------------------------------------------------------
     def start(self, at: Optional[float] = None) -> "FaultInjector":
@@ -214,11 +219,33 @@ class FaultInjector:
         self.stats.faults_injected += 1
         self.stats.faults_by_kind[rec.kind] = \
             self.stats.faults_by_kind.get(rec.kind, 0) + 1
+        t = self.sim.tracer
+        # The injection→recovery window is one span: _recover_in closes
+        # it at recovery time; a fault with no armed recovery is an
+        # instantaneous window.
+        self._fire_sid = -1 if t is None else t.begin(
+            "fault", rec.kind, track=rec.target,
+            args={"note": rec.note} if rec.note else None)
+        self._recovery_armed = False
         getattr(self, f"_do_{rec.kind}")(rec)
+        sid = self._fire_sid
+        if sid >= 0:
+            self._fire_sid = -1
+            if not self._recovery_armed:
+                t.end(sid)
 
     def _recover_in(self, rec: FaultRecord, action) -> None:
         if rec.duration > 0:
-            self._at(self.sim.now + rec.duration, action,
+            self._recovery_armed = True
+            sid = self._fire_sid
+
+            def recover(sid=sid, action=action):
+                action()
+                t = self.sim.tracer
+                if sid >= 0 and t is not None:
+                    t.end(sid)
+
+            self._at(self.sim.now + rec.duration, recover,
                      name=f"fault:recover:{rec.kind}:{rec.target}")
 
     # node crash / reboot ------------------------------------------------

@@ -125,11 +125,23 @@ class MercuryEndpoint:
         except AddressLookupError as e:
             reply.fail(e)
             return reply
+        t = self.sim.tracer
+        sid = -1
+        if t is not None:
+            # No args dict here: this path is the RPC hot loop and the
+            # target is recoverable from the matching server span.
+            sid = t.begin("rpc", rpc, track=self.node)
+            if sid >= 0:
+                # Ends when the response lands (never for a dropped
+                # request — close_open() flags those at finalize).
+                reply.add_callback(lambda _e: t.end(sid))
         if self.up and tgt.up \
                 and self.network.fabric.reachable(self.node, target):
             one_way = (self.network.fabric.latency(self.node, target)
                        + self.plugin.message_latency)
-            request = (rpc, payload, self.node, reply, key)
+            # The trace context (span id) rides in the in-memory wire
+            # metadata tuple; the byte-mode encodings are untouched.
+            request = (rpc, payload, self.node, reply, key, sid)
             self.sim.timeout(one_way).add_callback(
                 lambda _e: tgt._incoming.put(request))
         if timeout is None:
@@ -185,7 +197,8 @@ class MercuryEndpoint:
     def _progress_loop(self):
         """Serialize per-RPC protocol work; dispatch handlers async."""
         while True:
-            rpc, payload, origin, reply, key = yield self._incoming.get()
+            rpc, payload, origin, reply, key, ctx = \
+                yield self._incoming.get()
             # Protocol processing cost (deserialize, dispatch) — the
             # target-side bottleneck measured in Fig. 5.
             if self.plugin.rpc_service_time > 0:
@@ -200,7 +213,7 @@ class MercuryEndpoint:
                               ok=False)
                 continue
             self.sim.process(self._dispatch(handler, rpc, payload, origin,
-                                            reply, key),
+                                            reply, key, ctx),
                              name=f"hg:{self.node}:{rpc}")
 
     def _suppress_duplicate(self, key: str, origin: str,
@@ -236,16 +249,26 @@ class MercuryEndpoint:
         for origin, reply in waiters:
             self._respond(origin, reply, value, ok)
 
-    def _dispatch(self, handler, rpc, payload, origin, reply, key=None):
+    def _dispatch(self, handler, rpc, payload, origin, reply, key=None,
+                  ctx=-1):
+        t = self.sim.tracer
+        sid = -1 if t is None else t.begin(
+            "rpc", rpc, track=self.node, parent=ctx)
         try:
             result = handler(payload, origin)
             if hasattr(result, "send"):  # generator handler -> run inline
                 result = yield self.sim.process(result)
         except Exception as exc:  # handler bug or domain failure
+            if sid >= 0:
+                t.end(sid, args={"ok": False})
             self._settle_key(key, exc, ok=False)
             self._respond(origin, reply, exc, ok=False)
             return
         self.rpcs_served += 1
+        if sid >= 0:
+            # Success is the common case: no args dict, the error path
+            # marks {"ok": False} so absence means success.
+            t.end(sid)
         self._settle_key(key, result, ok=True)
         self._respond(origin, reply, result, ok=True)
 

@@ -65,7 +65,8 @@ class Channel:
     calls, like EOF.
     """
 
-    __slots__ = ("_sim", "_latency", "_inbox", "peer", "closed", "name")
+    __slots__ = ("_sim", "_latency", "_inbox", "peer", "closed", "name",
+                 "trace_ctx")
 
     def __init__(self, sim: Simulator, latency: float, name: str = "") -> None:
         self._sim = sim
@@ -74,6 +75,10 @@ class Channel:
         self.peer: Optional["Channel"] = None
         self.closed = False
         self.name = name
+        #: span id of the sender's in-flight request (repro.obs trace
+        #: context).  Out-of-band metadata: never serialized, so the
+        #: byte-mode wire encodings are unchanged.
+        self.trace_ctx = -1
 
     def send(self, payload: object) -> Event:
         """Queue ``payload`` for the peer; returns the delivery event."""

@@ -92,8 +92,18 @@ class BaseClient:
         """Send one request frame, return the decoded response."""
         if self._chan is None:
             yield from self.connect()
+        t = self.sim.tracer
+        sid = -1
+        if t is not None:
+            sid = t.begin("rpc", type(message).__name__,
+                          track=self.socket_path)
+            # Out-of-band trace context: the serving urd parents its
+            # span on this without any change to the wire encodings.
+            self._chan.trace_ctx = sid
         yield self._chan.send(make_frame(proto.NORNS_PROTOCOL, message))
         raw = yield self._chan.recv()
+        if sid >= 0:
+            t.end(sid)
         if raw is None:
             raise NornsError("daemon closed the connection")
         return open_frame(proto.NORNS_PROTOCOL, raw)

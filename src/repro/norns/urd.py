@@ -77,6 +77,20 @@ _ERROR_CODES = (
     (NetworkError, proto.ERR_TASKERROR),
 )
 
+#: Shared span-args dicts for the serve path, keyed by request type
+#: name.  One serve span per request at replay scale: a fresh dict per
+#: span is enough surviving garbage to tip extra full-heap GC passes,
+#: so every span for the same request type shares one dict (treat
+#: tracer args as immutable).
+_RPC_SPAN_ARGS: Dict[str, dict] = {}
+
+
+def _rpc_span_args(name: str) -> dict:
+    args = _RPC_SPAN_ARGS.get(name)
+    if args is None:
+        args = _RPC_SPAN_ARGS[name] = {"rpc": name}
+    return args
+
 
 def error_code_for(exc: BaseException) -> int:
     for cls, code in _ERROR_CODES:
@@ -220,6 +234,11 @@ class UrdDaemon:
             frame = yield chan.recv()
             if frame is None:
                 break  # client closed
+            t = self.sim.tracer
+            sid = -1 if t is None else t.begin(
+                "urd", "serve", track=self.node,
+                parent=getattr(chan.peer, "trace_ctx", -1)
+                if chan.peer is not None else -1)
             # The accept thread serializes request processing — this is
             # the Fig. 4 bottleneck.
             yield self._accept_thread.request()
@@ -238,13 +257,20 @@ class UrdDaemon:
             self.requests_served += 1
             if hasattr(response, "send"):  # parked handler (wait)
                 self.sim.process(
-                    self._respond_later(chan, response),
+                    self._respond_later(chan, response, sid=sid),
                     name=f"urd:{self.node}:parked")
             else:
+                if sid >= 0:
+                    self.sim.tracer.end(
+                        sid, args=_rpc_span_args(type(msg).__name__
+                                                 if msg is not None
+                                                 else "bad_frame"))
                 yield chan.send(make_frame(proto.NORNS_PROTOCOL, response))
 
-    def _respond_later(self, chan, handler_gen):
+    def _respond_later(self, chan, handler_gen, sid: int = -1):
         response = yield self.sim.process(handler_gen)
+        if sid >= 0 and self.sim.tracer is not None:
+            self.sim.tracer.end(sid, args=_rpc_span_args("parked"))
         yield chan.send(make_frame(proto.NORNS_PROTOCOL, response))
 
     # ------------------------------------------------------------------
@@ -548,6 +574,7 @@ class UrdDaemon:
                 task.mark_error(self.sim.now, proto.ERR_TASKERROR,
                                 "urd restart: task lost in hand-off")
                 self.tasks_failed += 1
+                self._trace_task(task)
                 continue
             epoch = self._epoch
             task.mark_running(self.sim.now)
@@ -602,10 +629,12 @@ class UrdDaemon:
                 self.controller.task_ended(task, 0)
                 task.mark_error(self.sim.now, failure[0], failure[1])
                 self.tasks_failed += 1
+                self._trace_task(task)
                 continue
             self.controller.task_ended(task, bytes_moved)
             task.mark_finished(self.sim.now, bytes_moved)
             self.tasks_completed += 1
+            self._trace_task(task)
             if task.elapsed and bytes_moved:
                 self.tracker.observe(self._route_of(task), bytes_moved,
                                      task.elapsed)
@@ -615,6 +644,30 @@ class UrdDaemon:
         self._backoff.pop(task.task_id, None)
         task.epoch = self._epoch
         self.queue.push(task)
+
+    def _trace_task(self, task: IOTask) -> None:
+        """Record a terminal task's lifecycle as retroactive spans.
+
+        The task already carries its queued/started/finished
+        timestamps, so one call at the terminal transition replaces
+        live begin/end bookkeeping on the worker hot path.
+        """
+        t = self.sim.tracer
+        if t is None or not t.wants("task"):
+            return
+        end = task.finished_at if task.finished_at is not None \
+            else self.sim.now
+        queued_end = task.started_at if task.started_at is not None else end
+        args = {"task_id": task.task_id,
+                "status": task.stats.status.name}
+        t.complete("task", "queued", task.submitted_at, queued_end,
+                   track=self.node, args=args)
+        if task.started_at is not None:
+            # bytes rides the raw-double nbytes channel so both spans
+            # can share one args dict.
+            t.complete("task", "run", task.started_at, end,
+                       track=self.node, args=args,
+                       nbytes=task.stats.bytes_moved)
 
     # ------------------------------------------------------------------
     # Fault hooks (repro.faults)
@@ -675,6 +728,7 @@ class UrdDaemon:
             task.mark_error(self.sim.now, proto.ERR_TASKERROR,
                             "urd restart: queued task lost")
             self.tasks_failed += 1
+            self._trace_task(task)
         for task, handle in list(self._backoff.values()):
             handle.cancel()
             lost += 1
@@ -682,6 +736,7 @@ class UrdDaemon:
             task.mark_error(self.sim.now, proto.ERR_TASKERROR,
                             "urd restart: retry-pending task lost")
             self.tasks_failed += 1
+            self._trace_task(task)
         self._backoff.clear()
         for task in list(self._running.values()):
             lost += 1
@@ -690,6 +745,7 @@ class UrdDaemon:
             task.mark_error(self.sim.now, proto.ERR_TASKERROR,
                             "urd restart: in-flight task lost")
             self.tasks_failed += 1
+            self._trace_task(task)
         self._running.clear()
         self.tasks_lost += lost
         self.bytes_lost += lost_bytes

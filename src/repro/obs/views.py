@@ -1,0 +1,119 @@
+"""`repro-slurm top`: end-of-run hot-spot tables from a trace.
+
+Four views over the span stream:
+
+* **busiest urds** — per-node task execution seconds + task count;
+* **deepest queues** — max concurrent waiting jobs / queued tasks,
+  by a sweep-line over wait spans;
+* **hottest constraints** — bytes and flow-seconds crossing each
+  named capacity constraint (from flow span args);
+* **slowest stages** — the longest stage-in / stage-out spans.
+
+Everything is computed from the recorded spans only, so the tables
+are as deterministic as the trace itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.trace import ARGS, CAT, NAME, T0, T1, TRACK, Tracer
+from repro.util.tables import render_table
+
+__all__ = ["top_table", "busiest_urds", "deepest_queues",
+           "hottest_constraints", "slowest_stages"]
+
+
+def busiest_urds(tracer: Tracer, limit: int = 10) -> List[Tuple[str, int, float]]:
+    """(node, tasks, busy seconds) sorted busiest-first."""
+    busy: Dict[str, List[float]] = {}
+    for rec in tracer.spans:
+        if rec[CAT] != "task" or rec[NAME] != "run":
+            continue
+        row = busy.setdefault(rec[TRACK], [0, 0.0])
+        row[0] += 1
+        row[1] += rec[T1] - rec[T0]
+    ranked = sorted(busy.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    return [(node, int(r[0]), r[1]) for node, r in ranked[:limit]]
+
+
+def _max_overlap(intervals: List[Tuple[float, float]]) -> int:
+    """Sweep-line maximum number of concurrently open intervals."""
+    if not intervals:
+        return 0
+    points = []
+    for t0, t1 in intervals:
+        points.append((t0, 1))
+        points.append((t1, -1))
+    # Close before open at the same instant: a span ending exactly when
+    # another begins does not overlap it.
+    points.sort(key=lambda p: (p[0], p[1]))
+    depth = peak = 0
+    for _t, d in points:
+        depth += d
+        peak = max(peak, depth)
+    return peak
+
+
+def deepest_queues(tracer: Tracer) -> List[Tuple[str, int]]:
+    """(queue, max depth) for the ctld pending queue and urd task queues."""
+    waits: Dict[str, List[Tuple[float, float]]] = {}
+    for rec in tracer.spans:
+        if rec[CAT] == "job" and rec[NAME] == "wait":
+            waits.setdefault("slurmctld.pending", []).append((rec[T0], rec[T1]))
+        elif rec[CAT] == "task" and rec[NAME] == "queued":
+            waits.setdefault(f"urd:{rec[TRACK]}", []).append((rec[T0], rec[T1]))
+    ranked = sorted(waits.items(), key=lambda kv: (-_max_overlap(kv[1]), kv[0]))
+    return [(q, _max_overlap(iv)) for q, iv in ranked]
+
+
+def hottest_constraints(tracer: Tracer, limit: int = 10
+                        ) -> List[Tuple[str, int, float, float]]:
+    """(constraint, flows, bytes, flow seconds) sorted by bytes."""
+    hot: Dict[str, List[float]] = {}
+    for rec in tracer.spans:
+        if rec[CAT] != "flow" or not rec[ARGS]:
+            continue
+        for cname in rec[ARGS].get("constraints", ()):
+            row = hot.setdefault(cname, [0, 0.0, 0.0])
+            row[0] += 1
+            row[1] += rec[ARGS].get("bytes", 0)
+            row[2] += rec[T1] - rec[T0]
+    ranked = sorted(hot.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    return [(c, int(r[0]), r[1], r[2]) for c, r in ranked[:limit]]
+
+
+def slowest_stages(tracer: Tracer, limit: int = 10
+                   ) -> List[Tuple[str, str, float]]:
+    """(job, stage, seconds) for the longest stage-in/out spans."""
+    stages = []
+    for rec in tracer.spans:
+        if rec[CAT] == "job" and rec[NAME] in ("stage_in", "stage_out"):
+            stages.append((rec[TRACK], rec[NAME], rec[T1] - rec[T0]))
+    stages.sort(key=lambda s: (-s[2], s[0], s[1]))
+    return stages[:limit]
+
+
+def top_table(tracer: Tracer, limit: int = 10) -> str:
+    """All four views rendered as one report block."""
+    parts = []
+    urds = busiest_urds(tracer, limit)
+    if urds:
+        parts.append(render_table(("node", "tasks", "busy seconds"),
+                                  urds, title="busiest urds"))
+    queues = deepest_queues(tracer)
+    if queues:
+        parts.append(render_table(("queue", "max depth"),
+                                  queues, title="deepest queues"))
+    cons = hottest_constraints(tracer, limit)
+    if cons:
+        parts.append(render_table(
+            ("constraint", "flows", "bytes", "flow seconds"),
+            cons, title="hottest constraints"))
+    stages = slowest_stages(tracer, limit)
+    if stages:
+        parts.append(render_table(("job", "stage", "seconds"),
+                                  stages, title="slowest stages"))
+    if not parts:
+        return "top: trace is empty"
+    return "\n\n".join(parts)

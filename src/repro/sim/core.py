@@ -423,6 +423,10 @@ class Simulator:
         self._defunct_skips = 0
         self._compactions = 0
         self._compact_at = COMPACT_MIN_DEFUNCT
+        #: optional span tracer (:class:`repro.obs.Tracer`).  ``None``
+        #: keeps every instrumentation site in the stack to a single
+        #: attribute load + test; the tracer never schedules events.
+        self.tracer = None
 
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
@@ -868,6 +872,7 @@ class ReferenceSimulator(Simulator):
         self._defunct_skips = 0
         self._compactions = 0  # the oracle never compacts ...
         self._compact_at = float("inf")  # ... so the check never fires
+        self.tracer = None
 
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:

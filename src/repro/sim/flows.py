@@ -93,6 +93,10 @@ class CapacityConstraint:
 
     @property
     def utilization(self) -> float:
+        # Guard against capacity mutated to zero after construction
+        # (drained links): an idle dead link is 0% utilized, not NaN.
+        if self.capacity <= 0:
+            return 0.0
         return self._load / self.capacity
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -214,6 +218,13 @@ class FlowScheduler:
         # O(changes), not O(changes × flows).
         self.alloc_count = 0
         self.flows_touched = 0
+        # Shared span-args dicts for flow traces, memoized per
+        # (status, route): flows over the same path repeat constantly,
+        # and building per-flow args dicts is measurable at replay
+        # span rates.  Keyed by the constraints tuple (object-identity
+        # hashes), bounded by distinct routes x statuses; the byte
+        # count rides the tracer's allocation-free nbytes channel.
+        self._span_args: Dict[tuple, dict] = {}
 
     # -- public API ----------------------------------------------------
     def transfer(self, size: float,
@@ -236,6 +247,7 @@ class FlowScheduler:
                     done, self.sim.now, label, weight)
         if size == 0:
             flow.finished_at = self.sim.now
+            self._trace_flow(flow, "finished")
             done.succeed(flow)
             return done
         if not flow.constraints and rate_cap is None:
@@ -244,6 +256,7 @@ class FlowScheduler:
             flow.remaining = 0.0
             self._bytes_moved += flow.size
             self._completed += 1
+            self._trace_flow(flow, "finished")
             done.succeed(flow)
             return done
         self._run_due()
@@ -253,6 +266,23 @@ class FlowScheduler:
         self._allocate(comp)
         self._schedule_wake()
         return done
+
+    def _trace_flow(self, flow: Flow, status: str) -> None:
+        """Record a settled flow's lifetime as a retroactive span."""
+        t = self.sim.tracer
+        if t is None or not t.wants("flow"):
+            return
+        end = flow.finished_at if flow.finished_at is not None \
+            else self.sim.now
+        shared = self._span_args.get((status, flow.constraints))
+        if shared is None:
+            shared = {"status": status,
+                      "constraints": tuple(c.name
+                                           for c in flow.constraints)}
+            self._span_args[(status, flow.constraints)] = shared
+        t.complete("flow", flow.label or f"flow{flow.fid}",
+                   flow.started_at, end,
+                   args=shared, nbytes=flow.size)
 
     def cancel(self, done_event: Event) -> None:
         """Abort the flow behind ``done_event`` (fails the event).
@@ -289,6 +319,7 @@ class FlowScheduler:
         elif target_comp is not None and target_comp.alive:
             for part in self._rebuild(target_comp):
                 self._allocate(part)
+        self._trace_flow(flow, "cancelled")
         done_event.fail(SimError(f"flow #{flow.fid} cancelled"))
         self._schedule_wake()
 
@@ -493,6 +524,7 @@ class FlowScheduler:
         self._completed += 1
         self._bytes_moved += flow.size
         self._by_done.pop(flow.done, None)
+        self._trace_flow(flow, "finished")
         flow.done.succeed(flow)
 
     def _run_due(self) -> None:

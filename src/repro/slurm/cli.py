@@ -13,6 +13,13 @@ The module is also runnable — ``python -m repro.slurm.cli <command>``:
 * ``replay`` drives the trace-replay subsystem: load an SWF or JSONL
   trace (or synthesize one), build a cluster preset, replay it through
   slurmctld/urd, and print the metrics report;
+* ``trace`` replays the same way under the :mod:`repro.obs` tracer and
+  exports the span trace — Chrome ``trace_event`` JSON (``--out``,
+  Perfetto-loadable) and JSONL span/metric streams — plus a
+  per-category summary; ``--only job,rpc`` filters by subsystem;
+* ``top`` replays with tracing on and prints the end-of-run hotspot
+  view (busiest urds, deepest queues, hottest constraints, slowest
+  staging phases);
 * ``run`` submits ``#SBATCH``/``#NORNS`` batch scripts to a fresh
   cluster and prints the resulting accounting;
 * ``workflows`` runs a named DAG pipeline (:mod:`repro.workflows`)
@@ -124,6 +131,18 @@ def _build_replay_parser(sub) -> None:
         description="Feed an SWF/JSONL trace (or a synthesized one) "
                     "into a simulated cluster and print the per-job "
                     "metrics report.")
+    _add_replay_options(p)
+    p.add_argument("--save-trace", metavar="FILE",
+                   help="also write the (synthesized) trace to FILE "
+                        "(.swf or .jsonl)")
+    p.add_argument("--perf", action="store_true",
+                   help="append the event-kernel counter footer "
+                        "(dispatches, defunct skips, compactions)")
+    p.set_defaults(func=_cmd_replay)
+
+
+def _add_replay_options(p) -> None:
+    """The workload/cluster options shared by replay, trace and top."""
     src = p.add_mutually_exclusive_group(required=True)
     src.add_argument("--trace", metavar="FILE",
                      help="trace file (.swf or .jsonl, by extension)")
@@ -150,15 +169,8 @@ def _build_replay_parser(sub) -> None:
                    help="coalesce submissions into windows (seconds)")
     p.add_argument("--runtime-scale", type=float, default=1.0,
                    help="scale factor on trace run times")
-    p.add_argument("--save-trace", metavar="FILE",
-                   help="also write the (synthesized) trace to FILE "
-                        "(.swf or .jsonl)")
-    p.add_argument("--perf", action="store_true",
-                   help="append the event-kernel counter footer "
-                        "(dispatches, defunct skips, compactions)")
     _add_checkpoint_options(p)
     _add_fault_options(p, with_profile=True)
-    p.set_defaults(func=_cmd_replay)
 
 
 def _load_or_synthesize(args):
@@ -205,6 +217,107 @@ def _cmd_replay(args) -> int:
     return 0 if report.completed == trace.n_jobs else 1
 
 
+# -- trace / top: replay under the repro.obs tracer ---------------------
+def _build_trace_parser(sub) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="record a replay's span trace and export/summarize it",
+        description="Replay a workload (same options as 'replay') with "
+                    "the repro.obs tracer enabled, print the per-"
+                    "category span summary, and optionally export the "
+                    "trace: --out writes Chrome trace_event JSON "
+                    "(loadable in Perfetto / chrome://tracing), "
+                    "--spans / --metrics write JSONL streams.  The "
+                    "exported bytes are deterministic: same workload + "
+                    "seed, same trace, on either event kernel.")
+    _add_replay_options(p)
+    p.add_argument("--only", metavar="CAT[,CAT...]", default="",
+                   help="record only these span categories (subset of: "
+                        "job, sched, task, urd, rpc, flow, fault, "
+                        "workflow)")
+    p.add_argument("--out", metavar="FILE", default="",
+                   help="write the Chrome trace_event JSON to FILE")
+    p.add_argument("--spans", metavar="FILE", default="",
+                   help="write the span/mark JSONL stream to FILE")
+    p.add_argument("--metrics", metavar="FILE", default="",
+                   help="write the metric-snapshot JSONL to FILE")
+    p.set_defaults(func=_cmd_trace)
+
+
+def _build_top_parser(sub) -> None:
+    p = sub.add_parser(
+        "top",
+        help="replay a workload and print the end-of-run top view",
+        description="Replay a workload (same options as 'replay') with "
+                    "tracing enabled and print the trace-derived "
+                    "hotspot tables: busiest urds, deepest queues, "
+                    "hottest flow constraints, slowest staging phases.")
+    _add_replay_options(p)
+    p.add_argument("--limit", type=int, default=10,
+                   help="rows per hotspot table")
+    p.set_defaults(func=_cmd_top)
+
+
+def _traced_replay(args, categories=None):
+    """Shared trace/top body: replay under a tracer; returns
+    (report, tracer, trace)."""
+    from repro.traces import ReplayConfig, TraceReplayer
+
+    trace = _load_or_synthesize(args)
+    handle = _build_preset(args)
+    tracer = handle.enable_tracing(categories)
+    plan = _resolve_fault_plan(args, handle, trace)
+    replayer = TraceReplayer(
+        handle, trace,
+        ReplayConfig(time_compression=args.compression,
+                     batch_window=args.batch_window,
+                     runtime_scale=args.runtime_scale,
+                     scheduler=args.scheduler,
+                     checkpoint_interval=args.checkpoint_interval,
+                     checkpoint_bytes=args.checkpoint_bytes,
+                     fault_plan=plan))
+    report = replayer.run()
+    tracer.close_open()
+    return report, tracer, trace
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import chrome_trace, metrics_jsonl, spans_jsonl
+    from repro.obs.export import summarize_spans
+    from repro.obs.trace import CATEGORIES
+
+    cats = tuple(c.strip() for c in args.only.split(",") if c.strip())
+    for cat in cats:
+        if cat not in CATEGORIES:
+            raise SystemExit(
+                f"unknown span category {cat!r} "
+                f"(known: {', '.join(CATEGORIES)})")
+    report, tracer, trace = _traced_replay(args, cats or None)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(chrome_trace(tracer))
+        print(f"wrote Chrome trace to {args.out} "
+              "(open in Perfetto or chrome://tracing)")
+    if args.spans:
+        with open(args.spans, "w") as fh:
+            fh.write(spans_jsonl(tracer))
+        print(f"wrote span stream to {args.spans}")
+    if args.metrics and report.registry is not None:
+        with open(args.metrics, "w") as fh:
+            fh.write(metrics_jsonl(report.registry))
+        print(f"wrote metric snapshot to {args.metrics}")
+    print(summarize_spans(tracer))
+    return 0 if report.completed == trace.n_jobs else 1
+
+
+def _cmd_top(args) -> int:
+    from repro.obs import top_table
+
+    report, tracer, trace = _traced_replay(args)
+    print(top_table(tracer, limit=args.limit))
+    return 0 if report.completed == trace.n_jobs else 1
+
+
 # -- run: batch scripts through a fresh cluster -------------------------
 def _build_run_parser(sub) -> None:
     p = sub.add_parser(
@@ -226,6 +339,9 @@ def _build_run_parser(sub) -> None:
     p.add_argument("--drain", metavar="NODES", default="",
                    help="comma-separated nodes to drain before any "
                         "submission (they take no allocations)")
+    p.add_argument("--perf", action="store_true",
+                   help="append the event-kernel counter table "
+                        "(dispatches, defunct skips, compactions)")
     _add_fault_options(p, with_profile=False)
     p.set_defaults(func=_cmd_run)
 
@@ -270,6 +386,13 @@ def _cmd_run(args) -> int:
                                   total_jobs=len(jobs))
         print(render_table(("metric", "value"), stats.rows(),
                            title="resilience"))
+    if args.perf:
+        from repro.obs import MetricsRegistry, collect_kernel
+        reg = MetricsRegistry()
+        collect_kernel(reg, handle.sim)
+        print(render_table(("counter", "value"),
+                           reg.rows(prefix="kernel."),
+                           title="event kernel"))
     failed = [j for j in jobs if j.state.value != "completed"]
     for job in failed:
         print(f"job {job.job_id} ({job.spec.name}): {job.state.value}"
@@ -389,6 +512,12 @@ def _build_sweep_parser(sub) -> None:
                         "(0 = none)")
     p.add_argument("--retries", type=int, default=2,
                    help="retry budget per run on worker crash/timeout")
+    p.add_argument("--perf", action="store_true",
+                   help="append each run's event-kernel counter table")
+    p.add_argument("--obs", action="store_true",
+                   help="record repro.obs spans in every run (span/"
+                        "metric JSONL streams land in --out artifact "
+                        "directories)")
     p.set_defaults(func=_cmd_sweep)
 
 
@@ -422,7 +551,7 @@ def _cmd_sweep(args) -> int:
         matrix = SweepMatrix.from_axes(
             axes, sweep_seed=args.seed, name="cli-sweep",
             preset=args.preset, n_nodes=args.nodes,
-            workload=workload, replay=replay)
+            workload=workload, replay=replay, obs=args.obs)
         runner = FleetRunner(
             matrix,
             dispatcher=make_dispatcher(
@@ -437,6 +566,17 @@ def _cmd_sweep(args) -> int:
         print(f"resumed {len(runner.resumed)} completed run(s) from "
               f"{args.out}")
     print(report.to_text())
+    if args.perf:
+        from repro.obs import MetricsRegistry, collect_kernel_stats
+        for result in report.results:
+            kernel = result.runstats.get("kernel")
+            if not kernel:
+                continue
+            reg = MetricsRegistry()
+            collect_kernel_stats(reg, kernel)
+            print(render_table(("counter", "value"),
+                               reg.rows(prefix="kernel."),
+                               title=f"event kernel: {result.run_id}"))
     if args.out:
         print(f"artifacts under {args.out}/runs/ "
               f"(merged report: {args.out}/fleet_report.txt)")
@@ -576,9 +716,11 @@ def _build_preset(args):
     kwargs = {}
     if args.nodes:
         kwargs["n_nodes"] = args.nodes
-    if getattr(args, "scheduler", "") and args.command != "replay":
-        # replay applies --scheduler through ReplayConfig instead, so
-        # the report labels itself with the chosen policy.
+    if getattr(args, "scheduler", "") and \
+            args.command not in ("replay", "trace", "top"):
+        # the replay-family commands apply --scheduler through
+        # ReplayConfig instead, so the report labels itself with the
+        # chosen policy.
         kwargs["scheduler"] = args.scheduler
     spec = preset(**kwargs)
     return build(spec, seed=args.seed)
@@ -591,6 +733,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                     "stack.")
     sub = parser.add_subparsers(dest="command", required=True)
     _build_replay_parser(sub)
+    _build_trace_parser(sub)
+    _build_top_parser(sub)
     _build_run_parser(sub)
     _build_workflows_parser(sub)
     _build_sweep_parser(sub)

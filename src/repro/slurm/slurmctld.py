@@ -136,6 +136,20 @@ class Slurmctld:
         #: node -> reason for every drained / down node.
         self._drained: Dict[str, str] = {}
         self._down: Dict[str, str] = {}
+        #: scheduler-pass counters, exported through the repro.obs
+        #: metrics registry (sched.passes / sched.decisions).
+        self.sched_passes = 0
+        self.sched_decisions = 0
+        #: open-span bookkeeping, populated only while ``sim.tracer``
+        #: is attached: job_id -> sid of the root / wait / phase span.
+        self._obs_job: Dict[int, int] = {}
+        self._obs_wait: Dict[int, int] = {}
+        self._obs_phase: Dict[int, int] = {}
+        #: shared span-args memo (key -> dict): submit/finish/pass
+        #: spans reuse one dict per distinct payload instead of
+        #: allocating per span — surviving per-span dicts are what tip
+        #: extra full-heap GC passes at replay scale.
+        self._obs_args: Dict[tuple, dict] = {}
         self._events: Store = Store(sim, name="slurmctld:events")
         sim.process(self._main_loop(), name="slurmctld")
 
@@ -163,6 +177,21 @@ class Slurmctld:
         rec = self.accounting.record_for(job.job_id, spec.name, spec.user)
         rec.submit_time = self.sim.now
         rec.workflow_id = job.workflow_id
+        t = self.sim.tracer
+        if t is not None and t.wants("job"):
+            track = f"job:{job.job_id}"
+            key = (spec.user, spec.nodes)
+            root_args = self._obs_args.get(key)
+            if root_args is None:
+                root_args = self._obs_args[key] = \
+                    {"user": spec.user, "nodes": spec.nodes}
+            root = t.begin("job", spec.name or f"job{job.job_id}",
+                           track=track, args=root_args)
+            self._obs_job[job.job_id] = root
+            self._obs_wait[job.job_id] = t.begin(
+                "job", "wait", track=track, parent=root)
+            job.done.add_callback(
+                lambda _ev, jid=job.job_id: self._obs_finish(jid))
         self._kick()
         return job
 
@@ -329,6 +358,41 @@ class Slurmctld:
     def _kick(self) -> None:
         self._events.put("wake")
 
+    # -- span tracing (repro.obs) -----------------------------------------
+    # Nothing here schedules calendar events; with ``sim.tracer`` unset
+    # every hook is one attribute load + None check.
+
+    def _obs_phase_begin(self, job: Job, name: str) -> None:
+        """Open the job's current phase span (stage_in / run / stage_out)."""
+        t = self.sim.tracer
+        if t is None:
+            return
+        self._obs_phase[job.job_id] = t.begin(
+            "job", name, track=f"job:{job.job_id}",
+            parent=self._obs_job.get(job.job_id, -1))
+
+    def _obs_phase_end(self, job: Job, **args) -> None:
+        t = self.sim.tracer
+        if t is None:
+            return
+        t.end(self._obs_phase.pop(job.job_id, -1), args=args or None)
+
+    def _obs_finish(self, job_id: int) -> None:
+        """``job.done`` callback: close every span the job still owns."""
+        t = self.sim.tracer
+        if t is None:
+            return
+        t.end(self._obs_wait.pop(job_id, -1))
+        t.end(self._obs_phase.pop(job_id, -1))
+        job = self._jobs.get(job_id)
+        args = None
+        if job is not None:
+            key = ("state", job.state.name)
+            args = self._obs_args.get(key)
+            if args is None:
+                args = self._obs_args[key] = {"state": job.state.name}
+        t.end(self._obs_job.pop(job_id, -1), args=args)
+
     def _main_loop(self):
         while True:
             yield self._events.get()
@@ -342,6 +406,19 @@ class Slurmctld:
         if not self.state.consume_dirty():
             return  # nothing changed since the last pass
         decisions = self.policy.schedule(self.state, self.sim.now)
+        self.sched_passes += 1
+        self.sched_decisions += len(decisions)
+        t = self.sim.tracer
+        if t is not None:
+            key = ("decisions", len(decisions))
+            pass_args = self._obs_args.get(key)
+            if pass_args is None:
+                pass_args = self._obs_args[key] = \
+                    {"decisions": len(decisions)}
+            t.instant("sched", "pass", args=pass_args)
+            for d in decisions:
+                t.end(self._obs_wait.pop(d.job.job_id, -1),
+                      args={"alloc": ",".join(d.nodes)})
         for d in decisions:
             self.state.allocate(d.job, d.nodes)
             d.job.allocated_nodes = d.nodes
@@ -460,6 +537,16 @@ class Slurmctld:
         rec.start_time = None
         job.set_state(JobState.PENDING, reason)
         self.state.enqueue(job)
+        t = self.sim.tracer
+        if t is not None:
+            # The interrupted phase span ends here (the unwind is part
+            # of the attempt), and the job goes back to waiting.
+            t.end(self._obs_phase.pop(job.job_id, -1),
+                  args={"requeue": reason})
+            root = self._obs_job.get(job.job_id, -1)
+            if root >= 0:
+                self._obs_wait[job.job_id] = t.begin(
+                    "job", "wait", track=f"job:{job.job_id}", parent=root)
         job._knocked = False
         self._kick()
 
@@ -478,6 +565,7 @@ class Slurmctld:
         # Stage-in (Section III): wait for data, or terminate + clean up.
         if self.config.staging_enabled and job.spec.stage_in:
             try:
+                self._obs_phase_begin(job, "stage_in")
                 job._phase_proc = self.sim.process(
                     self.staging.stage_in(job))
                 report = yield job._phase_proc
@@ -485,6 +573,7 @@ class Slurmctld:
                 rec.stage_in_seconds = report.elapsed
                 rec.stage_in_eta_seconds = report.predicted_seconds
                 rec.bytes_staged_in = report.bytes
+                self._obs_phase_end(job, bytes=report.bytes)
             except StagingFailure as exc:
                 job._phase_proc = None
                 rec.warnings.append(f"stage_in failed: {exc}")
@@ -507,6 +596,7 @@ class Slurmctld:
         job.set_state(JobState.RUNNING)
         job.start_time = self.sim.now
         rec.start_time = self.sim.now
+        self._obs_phase_begin(job, "run")
         job._step_procs = [
             self.slurmds[node].launch_step(job, rank)
             for rank, node in enumerate(job.allocated_nodes)]
@@ -535,17 +625,20 @@ class Slurmctld:
             yield from self._terminate(job, JobState.TIMEOUT,
                                        "time limit exceeded")
             return
+        self._obs_phase_end(job)
 
         # Stage-out; failures leave data on the nodes (Section III).
         stage_out_failed = False
         if self.config.staging_enabled and job.spec.stage_out:
             job.set_state(JobState.STAGING_OUT)
+            self._obs_phase_begin(job, "stage_out")
             job._phase_proc = self.sim.process(self.staging.stage_out(job))
             report = yield job._phase_proc
             job._phase_proc = None
             rec.stage_out_seconds = report.elapsed
             rec.stage_out_eta_seconds = report.predicted_seconds
             rec.bytes_staged_out = report.bytes
+            self._obs_phase_end(job, bytes=report.bytes, ok=report.ok)
             stage_out_failed = not report.ok
             for failure in report.failures:
                 rec.warnings.append(f"stage_out: {failure} (data left "

@@ -148,6 +148,10 @@ class ReplayReport:
     #: finalize time.  Rendered only by ``to_text(perf=True)`` so the
     #: golden replay layout stays byte-identical across kernels.
     kernel_stats: Optional[Dict[str, object]] = None
+    #: unified :class:`repro.obs.MetricsRegistry` built at finalize —
+    #: kernel, scheduler, urd, RPC, resilience and flow counters under
+    #: canonical names.  The ``perf=True`` footer renders from it.
+    registry: Optional[object] = None
     metrics: List[JobMetric] = field(default_factory=list)
     state_counts: Dict[str, int] = field(default_factory=dict)
     makespan: float = 0.0
@@ -255,12 +259,18 @@ class ReplayReport:
                 parts.append(render_table(("metric", "value"),
                                           self.checkpoints.rows(),
                                           title="checkpoints"))
-        if perf and self.kernel_stats is not None:
-            parts.append(render_table(
-                ("counter", "value"),
-                [(k, self.kernel_stats[k])
-                 for k in sorted(self.kernel_stats)],
-                title="event kernel"))
+        if perf:
+            if self.registry is not None:
+                parts.append(render_table(
+                    ("counter", "value"),
+                    self.registry.rows(prefix="kernel."),
+                    title="event kernel"))
+            elif self.kernel_stats is not None:
+                parts.append(render_table(
+                    ("counter", "value"),
+                    [(k, self.kernel_stats[k])
+                     for k in sorted(self.kernel_stats)],
+                    title="event kernel"))
         return "\n\n".join(parts) + "\n"
 
     def __str__(self) -> str:
@@ -594,6 +604,15 @@ class TraceReplayer:
                 + self._produced_bytes
             report.nvm_capacity_turnover = moved / (nvm_capacity * n_nodes)
         report.kernel_stats = self.sim.stats()
+        # The unified metrics registry: every report format (replay
+        # text, fleet artifacts, experiment tables) renders subsystem
+        # counters from this one snapshot.
+        from repro.obs.collect import collect_cluster, collect_replay
+        from repro.obs.metrics import MetricsRegistry
+        reg = MetricsRegistry()
+        collect_cluster(reg, self.handle)
+        collect_replay(reg, report)
+        report.registry = reg
 
 
 def _rank0_consume(nsid: str, directory: str, n_files: int):

@@ -256,5 +256,9 @@ def checkpointed_compute(store: CheckpointStore, key: str, seconds: float,
                                     payload_bytes,
                                     token=f"ckpt:{key}:{epoch}")
                 store.mark_epoch(key, epoch)
+                t = ctx.sim.tracer
+                if t is not None:
+                    t.instant("workflow", "epoch", track=key,
+                              args={"epoch": epoch})
 
     return program

@@ -268,12 +268,22 @@ class PipelineEngine:
             checkpoint_bytes=self.config.checkpoint_bytes,
             checkpoints=self.store)
         start = self.sim.now
+        tracer = self.sim.tracer
+        root = -1 if tracer is None else tracer.begin(
+            "workflow", self.pipeline.name or "pipeline",
+            track=self.pipeline.name,
+            args={"stages": len(topo)})
         for round_no in range(1, self.config.max_rounds + 1):
             frontier = [s for s in topo if not self._stage_done(s)]
             if not frontier:
                 report.completed = True
                 break
+            rsid = -1 if tracer is None else tracer.begin(
+                "workflow", f"round{round_no}", track=self.pipeline.name,
+                parent=root, args={"frontier": len(frontier)})
             rnd = self._run_round(round_no, frontier)
+            if rsid >= 0:
+                tracer.end(rsid, args={"lost": len(rnd.lost)})
             report.rounds.append(rnd)
             for name in rnd.submitted:
                 report.submissions[name] = \
@@ -293,6 +303,9 @@ class PipelineEngine:
             report.completed = True
         report.makespan = self.sim.now - start
         report.replayed_seconds = self._replayed_seconds(report)
+        if root >= 0:
+            tracer.end(root, args={"completed": report.completed,
+                                   "rounds": len(report.rounds)})
         return report
 
     def _run_round(self, round_no: int,

@@ -1,0 +1,125 @@
+"""Exporter and top-view tests: byte determinism and format shape."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace, metrics_jsonl, spans_jsonl, summarize_spans,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import attach_tracer
+from repro.obs.views import (
+    _max_overlap, busiest_urds, deepest_queues, hottest_constraints,
+    slowest_stages, top_table,
+)
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def tracer():
+    sim = Simulator()
+    t = attach_tracer(sim)
+    t.complete("job", "j1", 0.0, 10.0, track="job:1")
+    t.complete("job", "wait", 0.0, 2.0, track="job:1", parent=0)
+    t.complete("job", "stage_in", 2.0, 5.0, track="job:1", parent=0)
+    t.complete("task", "run", 5.0, 9.0, track="cn0",
+               args={"task_id": 1, "status": "FINISHED"})
+    t.complete("flow", "copy", 2.0, 5.0,
+               args={"bytes": 1000, "status": "finished",
+                     "constraints": ["lustre:front", "cn0:membus"]})
+    t.instant("sched", "pass", args={"decisions": 1})
+    return t
+
+
+class TestChromeTrace:
+    def test_valid_json_with_metadata_and_events(self, tracer):
+        doc = json.loads(chrome_trace(tracer))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"
+                 and e["name"] == "process_name"}
+        assert names == {"job", "task", "flow", "sched"}
+
+    def test_span_events_microsecond_timestamps(self, tracer):
+        doc = json.loads(chrome_trace(tracer))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        j1 = next(e for e in spans if e["name"] == "j1")
+        assert j1["ts"] == 0 and j1["dur"] == 10_000_000
+        wait = next(e for e in spans if e["name"] == "wait")
+        assert wait["args"]["parent"] == 0
+
+    def test_bytes_reproducible(self, tracer):
+        assert chrome_trace(tracer) == chrome_trace(tracer)
+
+    def test_empty_trace_exports(self):
+        t = attach_tracer(Simulator())
+        doc = json.loads(chrome_trace(t))
+        assert doc["traceEvents"] == []
+
+
+class TestJsonlStreams:
+    def test_spans_jsonl_one_object_per_record(self, tracer):
+        lines = spans_jsonl(tracer).splitlines()
+        # 5 spans + 1 mark
+        assert len(lines) == 6
+        rows = [json.loads(l) for l in lines]
+        assert rows[0]["sid"] == 0
+        assert rows[-1]["mark"] == "pass"
+
+    def test_metrics_jsonl(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(1.5)
+        rows = [json.loads(l) for l in
+                metrics_jsonl(reg).splitlines()]
+        assert [r["name"] for r in rows] == ["a", "b"]
+
+    def test_empty_streams_are_empty_strings(self):
+        assert spans_jsonl(attach_tracer(Simulator())) == ""
+        assert metrics_jsonl(MetricsRegistry()) == ""
+
+
+class TestSummarize:
+    def test_summary_table_lists_categories(self, tracer):
+        text = summarize_spans(tracer)
+        assert "trace summary" in text
+        for cat in ("job", "task", "flow", "sched"):
+            assert cat in text
+
+    def test_only_filter(self, tracer):
+        text = summarize_spans(tracer, only={"job"})
+        assert "job" in text and "flow" not in text
+
+
+class TestTopViews:
+    def test_max_overlap_close_before_open(self):
+        assert _max_overlap([(0.0, 1.0), (1.0, 2.0)]) == 1
+        assert _max_overlap([(0.0, 2.0), (1.0, 3.0)]) == 2
+        assert _max_overlap([]) == 0
+
+    def test_busiest_urds(self, tracer):
+        assert busiest_urds(tracer) == [("cn0", 1, 4.0)]
+
+    def test_deepest_queues(self, tracer):
+        assert ("slurmctld.pending", 1) in deepest_queues(tracer)
+
+    def test_hottest_constraints_sorted_by_bytes(self, tracer):
+        cons = hottest_constraints(tracer)
+        assert [c[0] for c in cons] == ["cn0:membus", "lustre:front"]
+        assert cons[0][1:] == (1, 1000, 3.0)
+
+    def test_slowest_stages(self, tracer):
+        assert slowest_stages(tracer) == [("job:1", "stage_in", 3.0)]
+
+    def test_top_table_renders_all_views(self, tracer):
+        text = top_table(tracer)
+        for title in ("busiest urds", "deepest queues",
+                      "hottest constraints", "slowest stages"):
+            assert title in text
+
+    def test_top_table_empty_trace(self):
+        t = attach_tracer(Simulator())
+        assert top_table(t) == "top: trace is empty"

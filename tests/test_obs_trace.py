@@ -1,0 +1,135 @@
+"""Unit tests for the repro.obs span tracer."""
+
+import pytest
+
+from repro.obs.trace import (
+    ARGS, CAT, CATEGORIES, NAME, PARENT, SID, T0, T1, TRACK,
+    Tracer, attach_tracer,
+)
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tracer(sim):
+    return attach_tracer(sim)
+
+
+def advance(sim, seconds):
+    sim.run(until=sim.timeout(seconds))
+
+
+class TestSpanRecording:
+    def test_attach_installs_on_simulator(self, sim):
+        assert sim.tracer is None
+        t = attach_tracer(sim)
+        assert sim.tracer is t
+
+    def test_span_ids_are_append_order(self, tracer):
+        a = tracer.begin("job", "one")
+        b = tracer.begin("job", "two")
+        assert (a, b) == (0, 1)
+        assert tracer.spans[a][SID] == 0
+        assert tracer.spans[b][SID] == 1
+
+    def test_begin_end_records_sim_times(self, sim, tracer):
+        sid = tracer.begin("job", "j", track="job:1")
+        advance(sim, 5.0)
+        tracer.end(sid)
+        rec = tracer.spans[sid]
+        assert rec[T0] == 0.0
+        assert rec[T1] == 5.0
+        assert rec[CAT] == "job"
+        assert rec[NAME] == "j"
+        assert rec[TRACK] == "job:1"
+
+    def test_parent_child_causality(self, tracer):
+        root = tracer.begin("job", "root")
+        child = tracer.begin("job", "wait", parent=root)
+        assert tracer.spans[child][PARENT] == root
+        assert tracer.spans[root][PARENT] == -1
+
+    def test_end_merges_args(self, tracer):
+        sid = tracer.begin("job", "j", args={"user": "u1"})
+        tracer.end(sid, args={"state": "COMPLETED"})
+        assert tracer.spans[sid][ARGS] == {"user": "u1",
+                                          "state": "COMPLETED"}
+
+    def test_complete_records_retroactive_span(self, sim, tracer):
+        advance(sim, 10.0)
+        sid = tracer.complete("task", "run", 2.0, 8.0, track="cn0",
+                              args={"task_id": 3})
+        rec = tracer.spans[sid]
+        assert (rec[T0], rec[T1]) == (2.0, 8.0)
+
+    def test_instant_records_mark(self, sim, tracer):
+        advance(sim, 3.0)
+        tracer.instant("sched", "pass", args={"decisions": 2})
+        assert len(tracer.marks) == 1
+        cat, name, track, t, parent, args = tracer.marks[0]
+        assert (cat, name, t) == ("sched", "pass", 3.0)
+
+
+class TestCategoryFilter:
+    def test_wants_all_by_default(self, tracer):
+        for cat in CATEGORIES:
+            assert tracer.wants(cat)
+
+    def test_filtered_begin_returns_minus_one(self, sim):
+        t = attach_tracer(sim, categories=("job",))
+        assert t.wants("job")
+        assert not t.wants("rpc")
+        assert t.begin("rpc", "call") == -1
+        assert t.complete("flow", "f", 0.0, 1.0) == -1
+        t.instant("sched", "pass")
+        assert t.spans == [] and t.marks == []
+
+    def test_end_of_filtered_span_is_noop(self, sim):
+        t = attach_tracer(sim, categories=("job",))
+        t.end(t.begin("rpc", "call"))  # must not raise / record
+
+
+class TestFinalization:
+    def test_close_open_stamps_and_flags(self, sim, tracer):
+        sid = tracer.begin("job", "stuck")
+        done = tracer.begin("job", "done")
+        tracer.end(done)
+        advance(sim, 7.0)
+        assert tracer.close_open() == 1
+        rec = tracer.spans[sid]
+        assert rec[T1] == 7.0
+        assert rec[ARGS] == {"open_at_finalize": True}
+        # already-closed span untouched
+        assert tracer.spans[done][ARGS] is None
+
+    def test_close_open_is_idempotent(self, tracer):
+        tracer.begin("job", "stuck")
+        tracer.close_open()
+        assert tracer.close_open() == 0
+
+    def test_summary_per_category(self, sim, tracer):
+        a = tracer.begin("job", "j")
+        advance(sim, 4.0)
+        tracer.end(a)
+        tracer.complete("task", "run", 1.0, 3.0)
+        tracer.instant("sched", "pass")
+        s = tracer.summary()
+        assert list(s) == sorted(s)
+        assert s["job"]["spans"] == 1
+        assert s["job"]["busy_seconds"] == 4.0
+        assert s["task"]["busy_seconds"] == 2.0
+        assert s["sched"]["marks"] == 1
+
+
+class TestZeroOverheadContract:
+    def test_tracer_schedules_no_calendar_events(self, sim, tracer):
+        before = sim.stats()["events"]
+        sid = tracer.begin("job", "j")
+        tracer.instant("sched", "pass")
+        tracer.end(sid)
+        tracer.close_open()
+        assert sim.stats()["events"] == before

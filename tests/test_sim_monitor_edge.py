@@ -1,0 +1,89 @@
+"""Edge cases in the measurement probes (repro.sim.monitor).
+
+The summary helpers back every figure table in the experiment
+harness, so their degenerate inputs — empty series, zero elapsed
+time, dead links — must return well-defined values instead of
+raising or emitting NaN-by-division.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.flows import CapacityConstraint
+from repro.sim.monitor import Counter, Monitor, TimeSeries
+
+
+@pytest.fixture
+def monitor():
+    return Monitor(Simulator())
+
+
+class TestEmptyTimeSeries:
+    def test_statistics_are_nan(self):
+        ts = TimeSeries("empty")
+        assert math.isnan(ts.mean())
+        assert math.isnan(ts.median())
+        assert math.isnan(ts.min())
+        assert math.isnan(ts.max())
+        assert math.isnan(ts.percentile(95))
+
+    def test_sum_and_len_are_zero(self):
+        ts = TimeSeries("empty")
+        assert ts.sum() == 0.0
+        assert len(ts) == 0
+        assert ts.array().shape == (0,)
+
+    def test_single_sample_degenerate_summary(self):
+        ts = TimeSeries("one")
+        ts.record(3.0, 7.5)
+        assert ts.mean() == 7.5
+        assert ts.median() == 7.5
+        assert ts.min() == ts.max() == 7.5
+        assert ts.percentile(95) == 7.5
+
+
+class TestCounterRate:
+    def test_rate_at_creation_instant_is_zero(self):
+        c = Counter("reqs", created_at=10.0)
+        c.incr(5)
+        # now == created_at: no elapsed time, not a ZeroDivisionError.
+        assert c.rate(10.0) == 0.0
+
+    def test_rate_before_creation_is_zero(self):
+        c = Counter("reqs", created_at=10.0)
+        c.incr(5)
+        assert c.rate(9.0) == 0.0
+
+    def test_rate_after_elapsed_time(self):
+        c = Counter("reqs", created_at=10.0)
+        c.incr(6)
+        assert c.rate(13.0) == pytest.approx(2.0)
+
+    def test_monitor_counter_created_at_now(self, monitor):
+        monitor.sim.run(until=monitor.sim.timeout(4.0))
+        c = monitor.counter("late")
+        c.incr()
+        assert c.created_at == monitor.sim.now
+        assert c.rate(monitor.sim.now) == 0.0
+
+
+class TestZeroCapacityUtilization:
+    def test_utilization_of_dead_link_is_zero(self):
+        c = CapacityConstraint("link", 100.0)
+        c.capacity = 0.0          # drained after construction
+        assert c.utilization == 0.0
+
+    def test_sample_utilization_records_zero_not_nan(self, monitor):
+        c = CapacityConstraint("dead", 50.0)
+        c.capacity = 0.0
+        monitor.sample_utilization(c)
+        series = monitor.get_series("util:dead")
+        assert len(series) == 1
+        assert series.values[0] == 0.0
+        assert not math.isnan(series.mean())
+
+    def test_constructor_still_rejects_nonpositive_capacity(self):
+        with pytest.raises(Exception):
+            CapacityConstraint("bad", 0.0)

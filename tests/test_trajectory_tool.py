@@ -1,0 +1,84 @@
+"""The trajectory folding tool must fail loudly on broken artifacts."""
+
+import json
+
+import pytest
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent
+                       / "benchmarks"))
+import trajectory  # noqa: E402
+
+
+def bench_artifact(path, name="test_bench", mean=0.5):
+    path.write_text(json.dumps({
+        "datetime": "2026-01-01T00:00:00",
+        "benchmarks": [{
+            "name": name,
+            "stats": {"mean": mean},
+            "extra_info": {"speedup": 2.0},
+        }],
+    }))
+    return path
+
+
+class TestHappyPath:
+    def test_folds_artifact_into_trajectory(self, tmp_path, capsys):
+        art = bench_artifact(tmp_path / "BENCH_demo.json")
+        traj = tmp_path / "BENCH_trajectory.json"
+        rc = trajectory.main([str(art), "--commit", "abc123",
+                              "--trajectory", str(traj)])
+        assert rc == 0
+        doc = json.loads(traj.read_text())
+        assert doc["entries"][0]["gate"] == "demo"
+        assert doc["entries"][0]["commit"] == "abc123"
+
+    def test_refold_same_commit_is_idempotent(self, tmp_path):
+        art = bench_artifact(tmp_path / "BENCH_demo.json")
+        traj = tmp_path / "BENCH_trajectory.json"
+        for _ in range(2):
+            trajectory.main([str(art), "--commit", "abc",
+                             "--trajectory", str(traj)])
+        doc = json.loads(traj.read_text())
+        assert len(doc["entries"]) == 1
+
+
+class TestLoudFailure:
+    def test_missing_artifact_fails_with_gate_name(self, tmp_path,
+                                                   capsys):
+        traj = tmp_path / "BENCH_trajectory.json"
+        rc = trajectory.main([str(tmp_path / "BENCH_ghost.json"),
+                              "--commit", "abc",
+                              "--trajectory", str(traj)])
+        err = capsys.readouterr().err
+        assert rc != 0
+        assert "ghost" in err
+        assert "FAILED gates" in err
+        assert not traj.exists()
+
+    def test_unparseable_artifact_fails(self, tmp_path, capsys):
+        art = tmp_path / "BENCH_corrupt.json"
+        art.write_text("{not json")
+        traj = tmp_path / "BENCH_trajectory.json"
+        rc = trajectory.main([str(art), "--commit", "abc",
+                              "--trajectory", str(traj)])
+        err = capsys.readouterr().err
+        assert rc != 0
+        assert "corrupt" in err
+        assert not traj.exists()
+
+    def test_one_broken_artifact_blocks_the_whole_fold(self, tmp_path,
+                                                       capsys):
+        good = bench_artifact(tmp_path / "BENCH_good.json")
+        traj = tmp_path / "BENCH_trajectory.json"
+        rc = trajectory.main([str(good),
+                              str(tmp_path / "BENCH_gone.json"),
+                              "--commit", "abc",
+                              "--trajectory", str(traj)])
+        err = capsys.readouterr().err
+        assert rc != 0
+        assert "gone" in err
+        # nothing written: a partial fold would flatten gone's history
+        assert not traj.exists()
